@@ -1,0 +1,211 @@
+(* Regenerates every table and figure in the paper's evaluation
+   (section 6), plus the ablations called out in DESIGN.md.
+
+   Usage:
+     bench/main.exe            run everything (fig7 fig8 expr known ablation)
+     bench/main.exe fig7       Figure 7  — benchmark results
+     bench/main.exe fig8       Figure 8  — bug-injection detection
+     bench/main.exe expr       section 6.2 expressiveness statistics
+     bench/main.exe known      section 6.4.1 known bugs
+     bench/main.exe ablation   design-choice ablations
+     bench/main.exe timing     Bechamel timing (one Test per Figure-7 row) *)
+
+module E = Mc.Explorer
+module B = Structures.Benchmark
+module X = Harness.Experiments
+
+let fig7_benches =
+  (* the ten rows of the paper's Figure 7 *)
+  List.filter_map Structures.Registry.find
+    [
+      "Chase-Lev Deque";
+      "SPSC Queue";
+      "RCU";
+      "Lockfree Hashtable";
+      "MCS Lock";
+      "MPMC Queue";
+      "M&S Queue";
+      "Linux RW Lock";
+      "Seqlock";
+      "Ticket Lock";
+    ]
+
+let extra_benches =
+  List.filter_map Structures.Registry.find
+    [
+      "Blocking Queue";
+      "Atomic Register";
+      "Contention-Free Lock";
+      "Treiber Stack";
+      "Peterson Lock";
+      "Barrier";
+      "RCU Grace";
+      "Lockfree Set";
+      "Dekker Lock";
+      "Lamport Ring";
+      "CLH Lock";
+      "Lazy Init";
+    ]
+
+let section title = Format.printf "@.== %s ==@.@." title
+
+let run_fig7 () =
+  section "Figure 7: benchmark results (paper: all rows finish within seconds)";
+  let rows = X.figure7 fig7_benches in
+  X.pp_figure7 Format.std_formatter rows;
+  Format.printf "@.Extensions (not in the paper's table):@.";
+  X.pp_figure7 Format.std_formatter (X.figure7 extra_benches)
+
+let run_fig8 () =
+  section "Figure 8: bug-injection detection (paper: 93%% overall, MPMC the outlier)";
+  let rows = X.figure8 fig7_benches in
+  X.pp_figure8 Format.std_formatter rows;
+  (match X.undetected rows with
+  | [] -> Format.printf "@.No undetected injections.@."
+  | l ->
+    Format.printf
+      "@.Undetected injections (candidate overly-strong parameters, cf. section 6.4.3):@.";
+    List.iter (fun (b, s) -> Format.printf "  %-22s %s@." b s) l);
+  Format.printf "@.Extensions (not in the paper's table):@.";
+  X.pp_figure8 Format.std_formatter (X.figure8 extra_benches)
+
+let run_expr () =
+  section "Section 6.2: expressiveness statistics";
+  Format.printf
+    "(paper: 11.5 lines of spec per benchmark, 27 API methods, 33 ordering points = 1.22 per \
+     method, 7 admissibility lines)@.@.";
+  X.pp_expressiveness Format.std_formatter (X.expressiveness fig7_benches)
+
+let run_known () =
+  section "Section 6.4.1: known bugs (paper: 3 known bugs detected)";
+  X.pp_known_bugs Format.std_formatter (X.known_bugs ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let explore_with ?(scheduler = Mc.Scheduler.default_config) ?checker (b : B.t) (t : B.test)
+    ~ords =
+  E.explore
+    ~config:{ E.default_config with scheduler; max_executions = Some 400_000 }
+    ~on_feasible:(Cdsspec.Checker.hook ?config:checker b.spec)
+    (t.program ords)
+
+let find_test (b : B.t) name = List.find (fun (t : B.test) -> t.test_name = name) b.tests
+
+let ablation_sleep_sets () =
+  Format.printf "@.-- Ablation: sleep-set partial-order reduction --@.";
+  Format.printf "%-18s %-14s %10s %10s %8s@." "Benchmark" "Test" "explored" "feasible" "time";
+  let cases =
+    [
+      (Structures.Ms_queue.benchmark, "2enq-2deq");
+      (Structures.Blocking_queue.benchmark, "racing-enqs");
+      (Structures.Ticket_lock.benchmark, "two-threads");
+    ]
+  in
+  List.iter
+    (fun ((b : B.t), test_name) ->
+      let t = find_test b test_name in
+      let ords = Structures.Ords.default b.sites in
+      List.iter
+        (fun sleep_sets ->
+          let r = explore_with ~scheduler:{ b.scheduler with sleep_sets } b t ~ords in
+          Format.printf "%-18s %-14s %10d %10d %7.2fs   (sleep sets %s)@." b.name test_name
+            r.stats.explored r.stats.feasible r.stats.time
+            (if sleep_sets then "on" else "off"))
+        [ true; false ])
+    cases
+
+let ablation_history_sampling () =
+  Format.printf "@.-- Ablation: exhaustive vs sampled sequential histories --@.";
+  let b = Structures.Ms_queue.benchmark in
+  let t = find_test b "2enq-2deq" in
+  let buggy = snd (List.hd Structures.Ms_queue.known_bugs) in
+  List.iter
+    (fun (label, checker) ->
+      let correct = explore_with ~checker b t ~ords:(Structures.Ords.default b.sites) in
+      let bug = explore_with ~checker b t ~ords:buggy in
+      Format.printf "%-28s correct: %.2fs, %d false reports; buggy: %s@." label
+        correct.stats.time
+        (List.length correct.bugs)
+        (if bug.bugs <> [] then "detected" else "MISSED"))
+    [
+      ("exhaustive histories", Cdsspec.Checker.default_config);
+      ( "sampled (5 per execution)",
+        { Cdsspec.Checker.default_config with sample_histories = Some (5, 42) } );
+      ( "sampled (1 per execution)",
+        { Cdsspec.Checker.default_config with sample_histories = Some (1, 42) } );
+    ]
+
+let ablation_loop_bound () =
+  Format.printf "@.-- Ablation: spin-loop bound sensitivity --@.";
+  let b = Structures.Seqlock.benchmark in
+  let t = find_test b "1write-1read" in
+  let ords = Structures.Ords.default b.sites in
+  List.iter
+    (fun loop_bound ->
+      let r = explore_with ~scheduler:{ b.scheduler with loop_bound } b t ~ords in
+      Format.printf "loop bound %d: explored=%d feasible=%d time=%.2fs@." loop_bound
+        r.stats.explored r.stats.feasible r.stats.time)
+    [ 2; 3; 4; 6 ]
+
+let run_ablation () =
+  section "Ablations (DESIGN.md design choices)";
+  ablation_sleep_sets ();
+  ablation_history_sampling ();
+  ablation_loop_bound ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing: one Test.make per Figure-7 row, measuring a full
+   model-checking run of the benchmark's first unit test.              *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let test_of (b : B.t) =
+    let t = List.hd b.tests in
+    let ords = Structures.Ords.default b.sites in
+    Test.make ~name:b.name
+      (Staged.stage (fun () ->
+           ignore
+             (E.explore
+                ~config:{ E.default_config with scheduler = b.scheduler }
+                ~on_feasible:(Cdsspec.Checker.hook b.spec)
+                (t.program ords))))
+  in
+  Test.make_grouped ~name:"figure7" (List.map test_of (fig7_benches @ extra_benches))
+
+let run_timing () =
+  section "Bechamel: per-benchmark model-checking latency (first unit test)";
+  let open Bechamel in
+  let open Toolkit in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "%-34s %14s@." "Benchmark" "time/run";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        let ms = est /. 1e6 in
+        Format.printf "%-34s %11.2f ms@." name ms
+      | _ -> Format.printf "%-34s %14s@." name "n/a")
+    results
+
+let () =
+  let jobs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing" ]
+  in
+  List.iter
+    (fun job ->
+      match job with
+      | "fig7" -> run_fig7 ()
+      | "fig8" -> run_fig8 ()
+      | "expr" -> run_expr ()
+      | "known" -> run_known ()
+      | "ablation" -> run_ablation ()
+      | "timing" -> run_timing ()
+      | other -> Format.printf "unknown job %S (fig7|fig8|expr|known|ablation|timing)@." other)
+    jobs

@@ -1,0 +1,207 @@
+(* Command-line driver: model-check benchmark unit tests against their
+   CDSSpec specifications, optionally weakening memory-order sites. *)
+
+module E = Mc.Explorer
+module B = Structures.Benchmark
+
+let find_bench name =
+  match Structures.Registry.find name with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown benchmark %S; try: %s" name
+           (String.concat ", "
+              (List.map (fun (b : B.t) -> b.name) Structures.Registry.all))))
+
+let list_cmd () =
+  List.iter
+    (fun (b : B.t) ->
+      Format.printf "%-22s tests: %s@." b.name
+        (String.concat ", " (List.map (fun (t : B.test) -> t.test_name) b.tests));
+      Format.printf "%-22s sites: %s@." ""
+        (String.concat ", "
+           (List.map
+              (fun (s : Structures.Ords.site) ->
+                Printf.sprintf "%s:%s" s.name (C11.Memory_order.to_string s.order))
+              b.sites)))
+    Structures.Registry.all;
+  0
+
+let build_ords (b : B.t) weaken overrides =
+  let sites =
+    List.map
+      (fun (s : Structures.Ords.site) ->
+        match List.assoc_opt s.name overrides with
+        | Some order -> { s with Structures.Ords.order }
+        | None -> s)
+      b.sites
+  in
+  match weaken with
+  | None -> Ok (Structures.Ords.default sites)
+  | Some site -> (
+    match Structures.Ords.weakened sites site with
+    | Some ords -> Ok ords
+    | None -> Error (`Msg (Printf.sprintf "site %s cannot be weakened further" site))
+    | exception Invalid_argument m -> Error (`Msg m))
+
+let litmus_cmd filter =
+  let tests =
+    match filter with
+    | None -> Litmus.all
+    | Some name -> ( match Litmus.find name with Some t -> [ t ] | None -> [])
+  in
+  if tests = [] then `Msg "unknown litmus test (see `litmus` with no argument for the corpus)"
+  else begin
+    let all_ok = ref true in
+    List.iter
+      (fun t ->
+        let r = Litmus.run t in
+        if not (Litmus.ok r) then all_ok := false;
+        Format.printf "%a@." Litmus.pp_result r)
+      tests;
+    if !all_ok then `Ok else `Bug
+  end
+
+let check_cmd name test_filter weaken overrides max_execs verbose dot =
+  match find_bench name with
+  | Error e -> e
+  | Ok b -> (
+    match build_ords b weaken overrides with
+    | Error e -> e
+    | Ok ords ->
+      let tests =
+        match test_filter with
+        | None -> b.tests
+        | Some t -> List.filter (fun (x : B.test) -> x.test_name = t) b.tests
+      in
+      if tests = [] then `Msg "no matching test"
+      else begin
+        let any_bug = ref false in
+        List.iter
+          (fun (t : B.test) ->
+            let r =
+              E.explore
+                ~config:
+                  { E.default_config with scheduler = b.scheduler; max_executions = max_execs }
+                ~on_feasible:(Cdsspec.Checker.hook b.spec)
+                (t.program ords)
+            in
+            Format.printf "%s/%s: explored %d, feasible %d, %.2fs%s@." b.name t.test_name
+              r.stats.explored r.stats.feasible r.stats.time
+              (if r.stats.truncated then " (truncated)" else "");
+            List.iter (fun bug -> Format.printf "  BUG: %a@." Mc.Bug.pp bug) r.bugs;
+            if r.bugs <> [] then any_bug := true;
+            (match r.first_buggy_trace with
+            | Some trace when verbose ->
+              Format.printf "  first buggy execution:@.%s@."
+                (String.concat "\n"
+                   (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' trace)))
+            | _ -> ());
+            match r.first_buggy_exec, dot with
+            | Some exec, Some path ->
+              C11.Dot.write_file exec path;
+              Format.printf "  wrote %s (render with `dot -Tsvg`)@." path
+            | _ -> ())
+          tests;
+        if !any_bug then `Bug else `Ok
+      end)
+
+let inject_cmd name =
+  match find_bench name with
+  | Error e -> e
+  | Ok b ->
+    let rows = Harness.Experiments.figure8 [ b ] in
+    List.iter
+      (fun (r : Harness.Experiments.fig8_row) ->
+        List.iter
+          (fun (o : Harness.Experiments.injection_outcome) ->
+            Format.printf "%-24s -> %-8s %s@." o.site
+              (C11.Memory_order.to_string o.weakened_to)
+              (match o.detection with
+              | Harness.Experiments.Builtin -> "detected (built-in)"
+              | Admissibility -> "detected (admissibility)"
+              | Assertion -> "detected (assertion)"
+              | Missed -> "NOT DETECTED"))
+          r.outcomes)
+      rows;
+    `Ok
+
+open Cmdliner
+
+let bench_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let exit_of = function
+  | `Ok -> 0
+  | `Bug -> 1
+  | `Msg m ->
+    prerr_endline m;
+    2
+
+let ord_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i -> (
+      let site = String.sub s 0 i in
+      let o = String.sub s (i + 1) (String.length s - i - 1) in
+      match C11.Memory_order.of_string o with
+      | Some order -> Ok (site, order)
+      | None -> Error (`Msg ("unknown memory order " ^ o)))
+    | None -> Error (`Msg "expected SITE=ORDER")
+  in
+  let print ppf (site, order) = Format.fprintf ppf "%s=%a" site C11.Memory_order.pp order in
+  Arg.conv (parse, print)
+
+let check_term =
+  let test =
+    Arg.(value & opt (some string) None & info [ "t"; "test" ] ~docv:"TEST" ~doc:"Run only this unit test.")
+  in
+  let weaken =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "weaken" ] ~docv:"SITE" ~doc:"Weaken this memory-order site one step.")
+  in
+  let overrides =
+    Arg.(
+      value & opt_all ord_conv [] & info [ "o"; "ord" ] ~docv:"SITE=ORDER" ~doc:"Pin a site's order.")
+  in
+  let max_execs =
+    Arg.(
+      value
+      & opt (some int) (Some 500_000)
+      & info [ "max-executions" ] ~docv:"N" ~doc:"Stop exploration after N runs.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the first buggy trace.") in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the first buggy execution graph as Graphviz DOT.")
+  in
+  Term.(
+    const (fun name test weaken overrides max_execs verbose dot ->
+        exit_of (check_cmd name test weaken overrides max_execs verbose dot))
+    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "list" ~doc:"List benchmarks, unit tests and memory-order sites.")
+      Term.(const list_cmd $ const ());
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Model-check a benchmark's unit tests against its CDSSpec specification.")
+      check_term;
+    Cmd.v
+      (Cmd.info "inject" ~doc:"Weaken each site in turn and report how each injection is caught.")
+      Term.(const (fun name -> exit_of (inject_cmd name)) $ bench_arg);
+    Cmd.v
+      (Cmd.info "litmus" ~doc:"Run the litmus-test corpus (or one named test).")
+      Term.(
+        const (fun filter -> exit_of (litmus_cmd filter))
+        $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"));
+  ]
+
+let () =
+  let doc = "CDSSpec: check concurrent data structures under the C/C++11 memory model" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "cdsspec_run" ~doc) cmds))

@@ -1,0 +1,1 @@
+examples/bughunt.ml: Cdsspec Format List Mc Printf Structures

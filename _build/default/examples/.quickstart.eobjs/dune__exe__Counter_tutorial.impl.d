@@ -1,0 +1,1 @@
+examples/counter_tutorial.ml: C11 Cdsspec Format List Mc

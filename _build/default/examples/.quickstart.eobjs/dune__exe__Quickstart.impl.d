@@ -1,0 +1,1 @@
+examples/quickstart.ml: C11 Cdsspec Format List Mc Structures

@@ -1,0 +1,1 @@
+examples/register.ml: Cdsspec Format List Mc String Structures

@@ -1,0 +1,1 @@
+examples/two_queues.ml: Cdsspec Format List Mc Printf String Structures

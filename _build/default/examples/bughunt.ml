@@ -1,0 +1,53 @@
+(* Reproduce the paper's section 6.4.1: the three known bugs.
+
+     dune exec examples/bughunt.exe
+
+   - Two AutoMO bugs in the Michael-Scott queue port (weaker-than-
+     necessary memory orders on the linking CAS and on the dequeue's
+     next load).
+   - The CDSChecker-found bug in the published C11 Chase-Lev deque: a
+     steal racing with a resizing push reads uninitialized memory because
+     the new buffer is published with a too-weak order. As in the paper,
+     the bug is caught both by the built-in uninitialized-load check and
+     — when the resized buffer is zero-initialized to silence that check
+     — as a specification violation (the steal returns the wrong item). *)
+
+module P = Mc.Program
+module E = Mc.Explorer
+module MS = Structures.Ms_queue
+module CL = Structures.Chase_lev_deque
+
+let hunt label spec program =
+  let r = E.explore ~on_feasible:(Cdsspec.Checker.hook spec) program in
+  Format.printf "%s:@." label;
+  (match r.bugs with
+  | [] -> Format.printf "  nothing found@."
+  | bugs -> List.iter (fun b -> Format.printf "  %a@." Mc.Bug.pp b) bugs);
+  Format.printf "  (%d executions explored in %.2fs)@.@." r.stats.explored r.stats.time
+
+let () =
+  List.iter
+    (fun (site, ords) ->
+      let program () =
+        let q = MS.create () in
+        let t1 = P.spawn (fun () -> MS.enq ords q 1) in
+        let t2 = P.spawn (fun () -> ignore (MS.deq ords q)) in
+        P.join t1;
+        P.join t2
+      in
+      hunt (Printf.sprintf "M&S queue with %s weakened (AutoMO bug)" site) MS.spec program)
+    MS.known_bugs;
+
+  let steal_during_resize ~init_resize ords () =
+    let q = CL.create ~capacity:1 ~init_resize () in
+    let thief = P.spawn (fun () -> ignore (CL.steal ords q)) in
+    CL.push ords q 1;
+    CL.push ords q 2;
+    P.join thief
+  in
+  hunt "Chase-Lev deque, pre-fix buffer publication (CDSChecker bug)" CL.spec
+    (steal_during_resize ~init_resize:false CL.known_buggy_ords);
+  hunt "same bug with the resized buffer zero-initialized (spec catches it instead)" CL.spec
+    (steal_during_resize ~init_resize:true CL.known_buggy_ords);
+  hunt "fixed publication (release): clean" CL.spec
+    (steal_during_resize ~init_resize:false (Structures.Ords.default CL.sites))

@@ -1,0 +1,1 @@
+lib/c11/action.ml: Clock Format Memory_order Printf

@@ -1,0 +1,1 @@
+lib/c11/action.mli: Clock Format Memory_order

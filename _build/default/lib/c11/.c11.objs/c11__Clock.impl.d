@@ -1,0 +1,1 @@
+lib/c11/clock.ml: Array Format

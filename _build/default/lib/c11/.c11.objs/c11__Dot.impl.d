@@ -1,0 +1,1 @@
+lib/c11/dot.ml: Action Buffer Execution Fmt List Printf String

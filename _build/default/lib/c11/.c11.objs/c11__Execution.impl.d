@@ -1,0 +1,1 @@
+lib/c11/execution.ml: Action Array Clock Format Hashtbl Int List Memory_order Set Vec

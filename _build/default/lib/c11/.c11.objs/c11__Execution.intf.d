@@ -1,0 +1,1 @@
+lib/c11/execution.mli: Action Format Memory_order

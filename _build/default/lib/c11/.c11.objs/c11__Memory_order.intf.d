@@ -1,0 +1,1 @@
+lib/c11/memory_order.mli: Format

@@ -1,0 +1,1 @@
+lib/c11/relation.ml: Array List Random

@@ -1,0 +1,1 @@
+lib/c11/vec.ml: Array List

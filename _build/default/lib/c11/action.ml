@@ -1,0 +1,93 @@
+type kind =
+  | Load
+  | Store
+  | Rmw
+  | Na_load
+  | Na_store
+  | Fence
+  | Create of int
+  | Start
+  | Join of int
+  | Finish
+
+type t = {
+  id : int;
+  tid : int;
+  seq : int;
+  kind : kind;
+  loc : int;
+  mo : Memory_order.t;
+  read_value : int option;
+  written_value : int option;
+  rf : int option;
+  site : string option;
+  clock : Clock.t;
+  release_clock : Clock.t option;
+}
+
+let no_loc = -1
+
+let is_read a =
+  match a.kind with
+  | Load | Rmw | Na_load -> true
+  | Store | Na_store | Fence | Create _ | Start | Join _ | Finish -> false
+
+let is_write a =
+  match a.kind with
+  | Store | Rmw | Na_store -> true
+  | Load | Na_load | Fence | Create _ | Start | Join _ | Finish -> false
+
+let is_atomic_read a =
+  match a.kind with
+  | Load | Rmw -> true
+  | _ -> false
+
+let is_atomic_write a =
+  match a.kind with
+  | Store | Rmw -> true
+  | _ -> false
+
+let is_non_atomic a =
+  match a.kind with
+  | Na_load | Na_store -> true
+  | _ -> false
+
+let is_fence a =
+  match a.kind with
+  | Fence -> true
+  | _ -> false
+
+let is_seq_cst a = Memory_order.is_seq_cst a.mo
+
+let sb a b = a.tid = b.tid && a.seq < b.seq
+
+let happens_before a b = a.id <> b.id && Clock.covers b.clock ~tid:a.tid ~seq:a.seq
+
+let kind_to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Rmw -> "rmw"
+  | Na_load -> "na-load"
+  | Na_store -> "na-store"
+  | Fence -> "fence"
+  | Create t -> Printf.sprintf "create(%d)" t
+  | Start -> "start"
+  | Join t -> Printf.sprintf "join(%d)" t
+  | Finish -> "finish"
+
+let pp ppf a =
+  Format.fprintf ppf "#%d T%d.%d %s %a" a.id a.tid a.seq (kind_to_string a.kind)
+    Memory_order.pp a.mo;
+  if a.loc <> no_loc then Format.fprintf ppf " @%d" a.loc;
+  (match a.read_value with
+  | Some v -> Format.fprintf ppf " r=%d" v
+  | None -> ());
+  (match a.written_value with
+  | Some v -> Format.fprintf ppf " w=%d" v
+  | None -> ());
+  (match a.rf with
+  | Some id -> Format.fprintf ppf " rf=#%d" id
+  | None -> ());
+  match a.site with
+  | Some s -> Format.fprintf ppf " [%s]" s
+  | None -> ()

@@ -1,0 +1,50 @@
+(** Memory actions: the nodes of a C/C++11 execution graph. *)
+
+type kind =
+  | Load  (** atomic load; a failed CAS also commits as a [Load] *)
+  | Store  (** atomic store *)
+  | Rmw  (** successful read-modify-write: both a read and a write *)
+  | Na_load  (** non-atomic load (participates in race detection) *)
+  | Na_store  (** non-atomic store *)
+  | Fence
+  | Create of int  (** thread creation; payload is the child tid *)
+  | Start  (** pseudo-action opening a thread *)
+  | Join of int  (** join on the given tid *)
+  | Finish  (** pseudo-action closing a thread *)
+
+type t = {
+  id : int;  (** global commit index, dense from 0 *)
+  tid : int;
+  seq : int;  (** per-thread step number, 1-based; orders sb within a thread *)
+  kind : kind;
+  loc : int;  (** memory location, or [no_loc] for fences and thread ops *)
+  mo : Memory_order.t;
+  read_value : int option;  (** value read, for reads *)
+  written_value : int option;  (** value written, for writes *)
+  rf : int option;  (** id of the store this read reads from *)
+  site : string option;  (** static site label, for diagnostics and injection *)
+  clock : Clock.t;
+      (** happens-before predecessors at commit time, including this action *)
+  release_clock : Clock.t option;
+      (** for writes: the clock an acquire reader synchronizing with (a
+          release sequence containing) this write acquires; [None] when the
+          write heads no release sequence and sits under no release fence *)
+}
+
+val no_loc : int
+
+val is_read : t -> bool
+val is_write : t -> bool
+val is_atomic_read : t -> bool
+val is_atomic_write : t -> bool
+val is_non_atomic : t -> bool
+val is_fence : t -> bool
+val is_seq_cst : t -> bool
+
+(** [sb a b]: [a] is sequenced before [b] (same thread, earlier step). *)
+val sb : t -> t -> bool
+
+(** [happens_before a b] using [b]'s clock. *)
+val happens_before : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+(* Persistent vector clocks as immutable int arrays. Unit tests have at
+   most a handful of threads, so copying on update is cheap and buys us
+   sharing across the millions of actions a full exploration commits. *)
+
+type t = int array
+
+let empty = [||]
+
+let get c tid = if tid < Array.length c then c.(tid) else 0
+
+let extend c n =
+  if Array.length c >= n then Array.copy c
+  else begin
+    let c' = Array.make n 0 in
+    Array.blit c 0 c' 0 (Array.length c);
+    c'
+  end
+
+let set c tid seq =
+  if get c tid >= seq then c
+  else begin
+    let c' = extend c (tid + 1) in
+    c'.(tid) <- seq;
+    c'
+  end
+
+let singleton ~tid ~seq = set empty tid seq
+
+let join a b =
+  if a == b then a
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    if la >= lb then begin
+      let need_copy = ref false in
+      (try
+         for i = 0 to lb - 1 do
+           if b.(i) > a.(i) then begin
+             need_copy := true;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if not !need_copy then a
+      else begin
+        let c = Array.copy a in
+        for i = 0 to lb - 1 do
+          if b.(i) > c.(i) then c.(i) <- b.(i)
+        done;
+        c
+      end
+    end
+    else begin
+      let c = Array.copy b in
+      for i = 0 to la - 1 do
+        if a.(i) > c.(i) then c.(i) <- a.(i)
+      done;
+      c
+    end
+  end
+
+let covers c ~tid ~seq = get c tid >= seq
+
+let leq a b =
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) > get b i then ok := false
+  done;
+  !ok
+
+let equal a b = leq a b && leq b a
+
+let pp ppf c =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list c)

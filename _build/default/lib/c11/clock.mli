@@ -1,0 +1,32 @@
+(** Vector clocks over thread ids.
+
+    Clocks represent happens-before knowledge: entry [i] is the largest
+    per-thread sequence number of thread [i] known to happen before the
+    holder. Thread ids are small dense integers; clocks grow on demand. *)
+
+type t
+
+(** The clock that knows nothing. *)
+val empty : t
+
+(** [singleton ~tid ~seq] knows only step [seq] of thread [tid]. *)
+val singleton : tid:int -> seq:int -> t
+
+val get : t -> int -> int
+
+(** [set c tid seq] functionally updates entry [tid] to [max current seq]. *)
+val set : t -> int -> int -> t
+
+(** Pointwise maximum. *)
+val join : t -> t -> t
+
+(** [covers c ~tid ~seq] holds when [c] already knows step [seq] of
+    [tid], i.e. that step happens before the holder of [c]. *)
+val covers : t -> tid:int -> seq:int -> bool
+
+(** [leq a b] is pointwise ordering: [b] knows everything [a] knows. *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_label (a : Action.t) = escape (Fmt.str "%a" Action.pp a)
+
+let render exec =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph execution {\n";
+  pr "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  let n = Execution.num_actions exec in
+  let actions = List.init n (Execution.action exec) in
+  let tids = List.sort_uniq compare (List.map (fun (a : Action.t) -> a.tid) actions) in
+  (* per-thread clusters in program order *)
+  List.iter
+    (fun tid ->
+      pr "  subgraph cluster_t%d {\n    label=\"T%d\";\n" tid tid;
+      let mine =
+        List.sort
+          (fun (a : Action.t) (b : Action.t) -> compare a.seq b.seq)
+          (List.filter (fun (a : Action.t) -> a.tid = tid) actions)
+      in
+      List.iter (fun (a : Action.t) -> pr "    a%d [label=\"%s\"];\n" a.id (node_label a)) mine;
+      let rec chain = function
+        | (a : Action.t) :: (b : Action.t) :: rest ->
+          pr "    a%d -> a%d [style=bold, color=gray40];\n" a.id b.id;
+          chain (b :: rest)
+        | _ -> ()
+      in
+      chain mine;
+      pr "  }\n")
+    tids;
+  (* reads-from *)
+  List.iter
+    (fun (a : Action.t) ->
+      match a.rf with
+      | Some src -> pr "  a%d -> a%d [color=darkgreen, label=\"rf\", fontsize=8];\n" src a.id
+      | None -> ())
+    actions;
+  (* per-location modification order (commit order of writes) *)
+  let locs = List.sort_uniq compare (List.filter_map (fun (a : Action.t) -> if Action.is_write a then Some a.loc else None) actions) in
+  List.iter
+    (fun loc ->
+      let writes = List.filter (fun (a : Action.t) -> Action.is_write a && a.loc = loc) actions in
+      let rec chain = function
+        | (a : Action.t) :: (b : Action.t) :: rest ->
+          pr "  a%d -> a%d [style=dashed, color=orange, label=\"mo\", fontsize=8];\n" a.id b.id;
+          chain (b :: rest)
+        | _ -> ()
+      in
+      chain writes)
+    locs;
+  pr "}\n";
+  Buffer.contents buf
+
+let write_file exec path =
+  let oc = open_out path in
+  output_string oc (render exec);
+  close_out oc

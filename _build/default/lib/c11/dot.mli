@@ -1,0 +1,11 @@
+(** Graphviz rendering of execution graphs: one cluster per thread with
+    actions in program order, reads-from edges (green), per-location
+    modification-order edges (dashed), and synchronizes-with-carrying
+    reads highlighted. Useful for inspecting the buggy executions the
+    checker reports. *)
+
+(** [render exec] is a complete DOT document. *)
+val render : Execution.t -> string
+
+(** [write_file exec path] renders into [path]. *)
+val write_file : Execution.t -> string -> unit

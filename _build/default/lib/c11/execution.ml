@@ -1,0 +1,414 @@
+module IntSet = Set.Make (Int)
+
+type problem =
+  | Data_race of { first : Action.t; second : Action.t }
+  | Uninitialized_load of Action.t
+
+type thread_state = {
+  mutable clock : Clock.t;  (* knowledge including own committed steps *)
+  mutable seq : int;
+  mutable pending_acquire : Clock.t;  (* rule 29.8p3/p4: consumed by acquire fences *)
+  mutable release_fence : Clock.t option;  (* clock at the latest release fence *)
+  mutable sc_fences : (int * int) list;  (* (seq, commit id), newest first *)
+  mutable inherited : Clock.t;  (* parent clock at Create, joined at Start *)
+}
+
+type loc_state = {
+  stores : Action.t Vec.t;  (* every write, commit order = modification order *)
+  reads : (Action.t * int) Vec.t;  (* atomic reads with the mo index they read *)
+  na_reads : Action.t Vec.t;
+}
+
+type t = {
+  actions : Action.t Vec.t;
+  mutable threads : thread_state array;
+  locs : (int, loc_state) Hashtbl.t;
+  mutable next_loc : int;
+}
+
+let create () = { actions = Vec.create (); threads = [||]; locs = Hashtbl.create 64; next_loc = 0 }
+
+let new_thread_state () =
+  {
+    clock = Clock.empty;
+    seq = 0;
+    pending_acquire = Clock.empty;
+    release_fence = None;
+    sc_fences = [];
+    inherited = Clock.empty;
+  }
+
+let thread t tid =
+  let n = Array.length t.threads in
+  if tid >= n then begin
+    let threads = Array.init (tid + 4) (fun i -> if i < n then t.threads.(i) else new_thread_state ()) in
+    t.threads <- threads
+  end;
+  t.threads.(tid)
+
+let loc_state t loc =
+  match Hashtbl.find_opt t.locs loc with
+  | Some ls -> ls
+  | None ->
+    let ls = { stores = Vec.create (); reads = Vec.create (); na_reads = Vec.create () } in
+    Hashtbl.add t.locs loc ls;
+    ls
+
+let num_actions t = Vec.length t.actions
+
+let action t id = Vec.get t.actions id
+
+(* hb(a, b) where [b] may be a not-yet-committed action of a thread whose
+   current clock is [clock_b]. *)
+let hb_clock clock_b (a : Action.t) = Clock.covers clock_b ~tid:a.tid ~seq:a.seq
+
+let happens_before t a b =
+  let a = action t a and b = action t b in
+  Action.happens_before a b
+
+let hb_or_sc t a b =
+  if a = b then false
+  else
+    let aa = action t a and ab = action t b in
+    Action.happens_before aa ab
+    || (Action.is_seq_cst aa && Action.is_seq_cst ab && aa.id < ab.id)
+
+let last_write t loc =
+  match Hashtbl.find_opt t.locs loc with
+  | Some ls when not (Vec.is_empty ls.stores) -> Some (Vec.last ls.stores)
+  | _ -> None
+
+(* Release-sequence walk (C++11 1.10p7, plus the hypothetical release
+   sequences of 29.8): the clock acquired by a read of [stores.(rf_index)].
+   A head candidate at index [i] is valid when every later chain element up
+   to [rf_index] is an RMW or a store by the head's own thread. *)
+let acquired_clock (ls : loc_state) rf_index =
+  let rec walk i foreign acc =
+    if i < 0 then acc
+    else begin
+      let w = Vec.get ls.stores i in
+      let valid = IntSet.is_empty foreign || IntSet.equal foreign (IntSet.singleton w.Action.tid) in
+      let acc =
+        if valid then
+          match w.Action.release_clock with
+          | Some rc -> Clock.join acc rc
+          | None -> acc
+        else acc
+      in
+      let foreign = if w.Action.kind = Action.Rmw then foreign else IntSet.add w.Action.tid foreign in
+      if IntSet.cardinal foreign >= 2 then acc else walk (i - 1) foreign acc
+    end
+  in
+  walk rf_index IntSet.empty Clock.empty
+
+(* A poison write models the pristine contents of uninitialized malloc'd
+   memory: reads that are not forced past it observe garbage, which is
+   reported as an uninitialized load. *)
+let is_poison (a : Action.t) = Action.is_write a && a.written_value = None
+
+(* Race detection: conflicting accesses (same location, at least one write,
+   at least one non-atomic, different threads) unordered by hb. The new
+   action [a] commits last, so only hb(prev, a) needs checking. *)
+let race_problems (ls : loc_state) (a : Action.t) =
+  let races = ref [] in
+  let check (prev : Action.t) =
+    if prev.tid <> a.tid && (not (is_poison prev)) && not (hb_clock a.clock prev) then
+      races := Data_race { first = prev; second = a } :: !races
+  in
+  let a_is_na = Action.is_non_atomic a in
+  (* against previous writes: conflict whenever one side is non-atomic *)
+  Vec.iter (fun (w : Action.t) -> if a_is_na || Action.is_non_atomic w then check w) ls.stores;
+  if Action.is_write a then begin
+    (* against previous reads *)
+    Vec.iter (fun ((r : Action.t), _) -> if a_is_na then check r) ls.reads;
+    Vec.iter (fun (r : Action.t) -> check r) ls.na_reads
+  end;
+  !races
+
+let store_index (ls : loc_state) (w : Action.t) =
+  let n = Vec.length ls.stores in
+  let rec go i =
+    if i < 0 then invalid_arg "store_index: not a store of this location"
+    else if (Vec.get ls.stores i).Action.id = w.id then i
+    else go (i - 1)
+  in
+  go (n - 1)
+
+(* Smallest modification-order index a new load by [tid] may read,
+   combining per-location coherence with the seq_cst rules (see .mli). *)
+let min_readable_index t ~tid ~mo (ls : loc_state) =
+  let ts = thread t tid in
+  let n = Vec.length ls.stores in
+  let min_idx = ref 0 in
+  let raise_to i = if i > !min_idx then min_idx := i in
+  (* CoWR/CoRW: newest hb-visible write *)
+  (try
+     for i = n - 1 downto 0 do
+       if hb_clock ts.clock (Vec.get ls.stores i) then begin
+         raise_to i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (* CoRR: newest mo index observed by an hb-prior read *)
+  Vec.iter (fun (r, j) -> if hb_clock ts.clock r then raise_to j) ls.reads;
+  let latest_sc_fence = match ts.sc_fences with (_, id) :: _ -> Some id | [] -> None in
+  let fence_after_store ?bound (w : Action.t) =
+    let fences = (thread t w.tid).sc_fences in
+    List.exists
+      (fun (seq, id) ->
+        seq > w.Action.seq && match bound with Some b -> id < b | None -> true)
+      fences
+  in
+  (* seq_cst load: at least the newest seq_cst store (29.3p3) *)
+  if Memory_order.is_seq_cst mo then begin
+    (try
+       for i = n - 1 downto 0 do
+         if Action.is_seq_cst (Vec.get ls.stores i) then begin
+           raise_to i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* store sequenced before a seq_cst fence, seq_cst load (29.3p6) *)
+    try
+      for i = n - 1 downto 0 do
+        if fence_after_store (Vec.get ls.stores i) then begin
+          raise_to i;
+          raise Exit
+        end
+      done
+    with Exit -> ()
+  end;
+  (match latest_sc_fence with
+  | None -> ()
+  | Some fence_id ->
+    (* seq_cst fence sequenced before the load (29.3p5): newest seq_cst
+       store committed before that fence *)
+    (try
+       for i = n - 1 downto 0 do
+         let w = Vec.get ls.stores i in
+         if Action.is_seq_cst w && w.Action.id < fence_id then begin
+           raise_to i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* fence-to-fence (29.3p7): store before fence X, X before our fence *)
+    try
+      for i = n - 1 downto 0 do
+        if fence_after_store ~bound:fence_id (Vec.get ls.stores i) then begin
+          raise_to i;
+          raise Exit
+        end
+      done
+    with Exit -> ());
+  !min_idx
+
+let read_candidates t ~tid ~mo ~loc =
+  let ls = loc_state t loc in
+  let n = Vec.length ls.stores in
+  if n = 0 then []
+  else begin
+    let min_idx = min_readable_index t ~tid ~mo ls in
+    (* newest-first *)
+    let rec collect i acc = if i > n - 1 then acc else collect (i + 1) (Vec.get ls.stores i :: acc) in
+    collect min_idx []
+  end
+
+let rmw_candidate t ~loc =
+  match Hashtbl.find_opt t.locs loc with
+  | Some ls when not (Vec.is_empty ls.stores) -> Some (Vec.last ls.stores)
+  | _ -> None
+
+let mk_action t ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock ~release_clock () =
+  let ts = thread t tid in
+  let seq = ts.seq + 1 in
+  let a =
+    {
+      Action.id = num_actions t;
+      tid;
+      seq;
+      kind;
+      loc;
+      mo;
+      read_value;
+      written_value;
+      rf;
+      site;
+      clock;
+      release_clock;
+    }
+  in
+  ts.seq <- seq;
+  ts.clock <- clock;
+  Vec.push t.actions a;
+  a
+
+let base_clock t tid =
+  let ts = thread t tid in
+  Clock.set ts.clock tid (ts.seq + 1)
+
+let commit_load t ~tid ~mo ~loc ~rf ?site () =
+  let ts = thread t tid in
+  let ls = loc_state t loc in
+  let base = base_clock t tid in
+  match rf with
+  | None ->
+    let a =
+      mk_action t ~tid ~kind:Action.Load ~loc ~mo ~read_value:0 ?site ~clock:base ~release_clock:None ()
+    in
+    (a, Uninitialized_load a :: race_problems ls a)
+  | Some (w : Action.t) ->
+    let idx = store_index ls w in
+    let acquired = acquired_clock ls idx in
+    let clock = if Memory_order.is_acquire mo then Clock.join base acquired else base in
+    ts.pending_acquire <- Clock.join ts.pending_acquire acquired;
+    let read_value = match w.written_value with Some v -> v | None -> 0 in
+    let a =
+      mk_action t ~tid ~kind:Action.Load ~loc ~mo ~read_value ~rf:w.id ?site ~clock
+        ~release_clock:None ()
+    in
+    Vec.push ls.reads (a, idx);
+    let problems = race_problems ls a in
+    let problems = if is_poison w then Uninitialized_load a :: problems else problems in
+    (a, problems)
+
+let commit_na_load t ~tid ~loc ?site () =
+  let ls = loc_state t loc in
+  let base = base_clock t tid in
+  let n = Vec.length ls.stores in
+  if n = 0 then begin
+    let a =
+      mk_action t ~tid ~kind:Action.Na_load ~loc ~mo:Memory_order.Relaxed ~read_value:0 ?site ~clock:base
+        ~release_clock:None ()
+    in
+    (a, Uninitialized_load a :: race_problems ls a)
+  end
+  else begin
+    let w = Vec.last ls.stores in
+    let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
+    let a =
+      mk_action t ~tid ~kind:Action.Na_load ~loc ~mo:Memory_order.Relaxed ~read_value
+        ~rf:w.Action.id ?site ~clock:base ~release_clock:None ()
+    in
+    Vec.push ls.na_reads a;
+    let problems = race_problems ls a in
+    let problems = if is_poison w then Uninitialized_load a :: problems else problems in
+    (a, problems)
+  end
+
+let write_release_clock t ~tid ~mo ~clock =
+  if Memory_order.is_release mo then Some clock
+  else
+    match (thread t tid).release_fence with
+    | Some fc -> Some fc
+    | None -> None
+
+let commit_store t ~tid ~mo ~loc ~value ?site () =
+  let ls = loc_state t loc in
+  let clock = base_clock t tid in
+  let release_clock = write_release_clock t ~tid ~mo ~clock in
+  let a = mk_action t ~tid ~kind:Action.Store ~loc ~mo ~written_value:value ?site ~clock ~release_clock () in
+  Vec.push ls.stores a;
+  (a, race_problems ls a)
+
+let commit_na_store t ~tid ~loc ~value ?site () =
+  let ls = loc_state t loc in
+  let clock = base_clock t tid in
+  let a =
+    mk_action t ~tid ~kind:Action.Na_store ~loc ~mo:Memory_order.Relaxed ~written_value:value ?site ~clock
+      ~release_clock:None ()
+  in
+  Vec.push ls.stores a;
+  (a, race_problems ls a)
+
+let commit_rmw t ~tid ~mo ~loc ~value ?site () =
+  let ts = thread t tid in
+  let ls = loc_state t loc in
+  if Vec.is_empty ls.stores then invalid_arg "commit_rmw: uninitialized location";
+  let w = Vec.last ls.stores in
+  let idx = Vec.length ls.stores - 1 in
+  let base = base_clock t tid in
+  let acquired = acquired_clock ls idx in
+  let clock = if Memory_order.is_acquire mo then Clock.join base acquired else base in
+  ts.pending_acquire <- Clock.join ts.pending_acquire acquired;
+  let release_clock = write_release_clock t ~tid ~mo ~clock in
+  let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
+  let a =
+    mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value ~written_value:value
+      ~rf:w.Action.id ?site ~clock ~release_clock ()
+  in
+  Vec.push ls.reads (a, idx);
+  Vec.push ls.stores a;
+  let problems = race_problems ls a in
+  let problems = if is_poison w then Uninitialized_load a :: problems else problems in
+  (a, problems)
+
+let commit_fence t ~tid ~mo =
+  let ts = thread t tid in
+  let base = base_clock t tid in
+  let clock = if Memory_order.is_acquire mo then Clock.join base ts.pending_acquire else base in
+  let a =
+    mk_action t ~tid ~kind:Action.Fence ~loc:Action.no_loc ~mo ~clock ~release_clock:None ()
+  in
+  if Memory_order.is_release mo then ts.release_fence <- Some clock;
+  if Memory_order.is_seq_cst mo then ts.sc_fences <- (a.Action.seq, a.Action.id) :: ts.sc_fences;
+  a
+
+let commit_create t ~tid ~child =
+  let clock = base_clock t tid in
+  let a =
+    mk_action t ~tid ~kind:(Action.Create child) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
+      ~release_clock:None ()
+  in
+  (thread t child).inherited <- clock;
+  a
+
+let commit_start t ~tid =
+  let ts = thread t tid in
+  let clock = Clock.join (base_clock t tid) ts.inherited in
+  mk_action t ~tid ~kind:Action.Start ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock ~release_clock:None
+    ()
+
+let commit_finish t ~tid =
+  let clock = base_clock t tid in
+  mk_action t ~tid ~kind:Action.Finish ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock ~release_clock:None
+    ()
+
+let commit_join t ~tid ~target =
+  let clock = Clock.join (base_clock t tid) (thread t target).clock in
+  mk_action t ~tid ~kind:(Action.Join target) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
+    ~release_clock:None ()
+
+let commit_poison t ~tid ~loc =
+  let ls = loc_state t loc in
+  let clock = base_clock t tid in
+  let a =
+    mk_action t ~tid ~kind:Action.Store ~loc ~mo:Memory_order.Relaxed ~site:"<alloc>" ~clock
+      ~release_clock:None ()
+  in
+  Vec.push ls.stores a
+
+let alloc t ~tid ~count ~init =
+  let base = t.next_loc in
+  t.next_loc <- t.next_loc + count;
+  (match init with
+  | None ->
+    (* pristine malloc'd cells: a poison write per cell, so loads not
+       forced past it observe uninitialized memory *)
+    for i = 0 to count - 1 do
+      commit_poison t ~tid ~loc:(base + i)
+    done
+  | Some v ->
+    (* calloc-style zeroing: part of allocation, so it never races — model
+       it as a relaxed atomic initialization *)
+    for i = 0 to count - 1 do
+      ignore (commit_store t ~tid ~mo:Memory_order.Relaxed ~loc:(base + i) ~value:v ~site:"<init>" ())
+    done);
+  base
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Vec.iter (fun a -> Format.fprintf ppf "%a@," Action.pp a) t.actions;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,106 @@
+(** An incrementally-built C/C++11 execution graph.
+
+    The scheduler commits one action at a time; the graph maintains
+    sequenced-before (per-thread step numbers), reads-from, modification
+    order, release sequences, synchronizes-with (including the C11 fence
+    rules), happens-before (as vector clocks) and the SC total order.
+
+    Modification order and the SC order are both represented by the commit
+    order: the model checker enumerates all schedules, so every mo/SC
+    total order consistent with causality is explored (see DESIGN.md,
+    "Memory model approximations"). *)
+
+type t
+
+(** Problems detected while committing actions — the "built-in checks" of
+    the paper's Figure 8 plus assertion support for the DSL. *)
+type problem =
+  | Data_race of { first : Action.t; second : Action.t }
+  | Uninitialized_load of Action.t
+
+val create : unit -> t
+
+(** {1 Locations} *)
+
+(** [alloc t ~tid ~count ~init] reserves [count] fresh consecutive
+    locations and returns the first. With [init = Some v] each cell is
+    initialized by a committed non-atomic store of [v] (making subsequent
+    loads defined); with [None] the cells start uninitialized, as malloc'd
+    C memory does. *)
+val alloc : t -> tid:int -> count:int -> init:int option -> int
+
+(** {1 Threads} *)
+
+(** [commit_create t ~tid ~child] commits a thread-create action in
+    [tid]; the child's first action will happen after it. *)
+val commit_create : t -> tid:int -> child:int -> Action.t
+
+val commit_start : t -> tid:int -> Action.t
+val commit_finish : t -> tid:int -> Action.t
+
+(** [commit_join t ~tid ~target] requires [target] to have finished. *)
+val commit_join : t -> tid:int -> target:int -> Action.t
+
+(** {1 Reads} *)
+
+(** [read_candidates t ~tid ~mo ~loc] lists the writes a new atomic load
+    by [tid] with order [mo] may read from, newest-first, after coherence
+    and SC filtering. The empty list means the location is
+    uninitialized. *)
+val read_candidates : t -> tid:int -> mo:Memory_order.t -> loc:int -> Action.t list
+
+(** The unique write an RMW may read: the mo-maximal write, if any. *)
+val rmw_candidate : t -> loc:int -> Action.t option
+
+(** [commit_load t ~tid ~mo ~loc ~rf ?site ()] commits an atomic load
+    reading from write [rf] (an element of [read_candidates]); [rf =
+    None] commits an uninitialized load reading 0 and reports it. *)
+val commit_load :
+  t ->
+  tid:int ->
+  mo:Memory_order.t ->
+  loc:int ->
+  rf:Action.t option ->
+  ?site:string ->
+  unit ->
+  Action.t * problem list
+
+val commit_na_load : t -> tid:int -> loc:int -> ?site:string -> unit -> Action.t * problem list
+
+(** {1 Writes} *)
+
+val commit_store :
+  t -> tid:int -> mo:Memory_order.t -> loc:int -> value:int -> ?site:string -> unit -> Action.t * problem list
+
+val commit_na_store : t -> tid:int -> loc:int -> value:int -> ?site:string -> unit -> Action.t * problem list
+
+(** [commit_rmw] commits a successful read-modify-write reading the
+    mo-maximal write (which must exist) and writing [value]. *)
+val commit_rmw :
+  t -> tid:int -> mo:Memory_order.t -> loc:int -> value:int -> ?site:string -> unit -> Action.t * problem list
+
+(** {1 Fences} *)
+
+val commit_fence : t -> tid:int -> mo:Memory_order.t -> Action.t
+
+(** {1 Queries} *)
+
+val num_actions : t -> int
+
+(** [action t id] for [0 <= id < num_actions t]; actions are in commit
+    order, which also gives mo per location and the SC total order. *)
+val action : t -> int -> Action.t
+
+(** The newest committed write to a location, if any; its value is the
+    "current value" non-atomic loads observe. *)
+val last_write : t -> int -> Action.t option
+
+(** [happens_before t a b] over action ids. *)
+val happens_before : t -> int -> int -> bool
+
+(** [hb_or_sc t a b]: happens-before, or both seq_cst with [a] earlier in
+    the SC total order — the relation that orders ordering points (paper
+    section 5.2). *)
+val hb_or_sc : t -> int -> int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type t =
+  | Relaxed
+  | Acquire
+  | Release
+  | Acq_rel
+  | Seq_cst
+
+type op_kind =
+  | For_load
+  | For_store
+  | For_rmw
+  | For_fence
+
+let equal (a : t) (b : t) = a = b
+
+let rank = function
+  | Relaxed -> 0
+  | Acquire -> 1
+  | Release -> 1
+  | Acq_rel -> 2
+  | Seq_cst -> 3
+
+let compare a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c else Stdlib.compare a b
+
+let to_string = function
+  | Relaxed -> "relaxed"
+  | Acquire -> "acquire"
+  | Release -> "release"
+  | Acq_rel -> "acq_rel"
+  | Seq_cst -> "seq_cst"
+
+let of_string = function
+  | "relaxed" -> Some Relaxed
+  | "acquire" -> Some Acquire
+  | "release" -> Some Release
+  | "acq_rel" -> Some Acq_rel
+  | "seq_cst" -> Some Seq_cst
+  | _ -> None
+
+let pp ppf mo = Format.pp_print_string ppf (to_string mo)
+
+let is_acquire = function
+  | Acquire | Acq_rel | Seq_cst -> true
+  | Relaxed | Release -> false
+
+let is_release = function
+  | Release | Acq_rel | Seq_cst -> true
+  | Relaxed | Acquire -> false
+
+let is_seq_cst = function
+  | Seq_cst -> true
+  | Relaxed | Acquire | Release | Acq_rel -> false
+
+let valid_for kind mo =
+  match kind, mo with
+  | For_load, (Relaxed | Acquire | Seq_cst) -> true
+  | For_load, (Release | Acq_rel) -> false
+  | For_store, (Relaxed | Release | Seq_cst) -> true
+  | For_store, (Acquire | Acq_rel) -> false
+  | For_rmw, _ -> true
+  (* a relaxed fence is a no-op; the injection experiment uses it to
+     model deleting a fence *)
+  | For_fence, _ -> true
+
+let weaken kind mo =
+  match kind, mo with
+  | For_load, Seq_cst -> Some Acquire
+  | For_load, Acquire -> Some Relaxed
+  | For_store, Seq_cst -> Some Release
+  | For_store, Release -> Some Relaxed
+  | For_rmw, Seq_cst -> Some Acq_rel
+  | For_rmw, Acq_rel -> Some Release
+  | For_rmw, (Acquire | Release) -> Some Relaxed
+  | For_fence, Seq_cst -> Some Acq_rel
+  | For_fence, Acq_rel -> Some Release
+  | For_fence, (Acquire | Release) -> Some Relaxed
+  | _, Relaxed -> None
+  | For_load, (Release | Acq_rel) | For_store, (Acquire | Acq_rel) -> None
+
+let all_for = function
+  | For_load -> [ Relaxed; Acquire; Seq_cst ]
+  | For_store -> [ Relaxed; Release; Seq_cst ]
+  | For_rmw -> [ Relaxed; Acquire; Release; Acq_rel; Seq_cst ]
+  | For_fence -> [ Acquire; Release; Acq_rel; Seq_cst ]

@@ -1,0 +1,53 @@
+(** C/C++11 memory orders.
+
+    [memory_order_consume] is intentionally absent: like every production
+    compiler (and like CDSChecker's default configuration) we promote
+    consume to acquire. *)
+
+type t =
+  | Relaxed
+  | Acquire
+  | Release
+  | Acq_rel
+  | Seq_cst
+
+(** Kind of operation a memory order is attached to, used to decide which
+    orders are meaningful and what "one step weaker" means for the
+    bug-injection experiment (paper section 6.4.2). *)
+type op_kind =
+  | For_load
+  | For_store
+  | For_rmw
+  | For_fence
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+(** [is_acquire mo] holds when an operation with order [mo] performs an
+    acquire operation (Acquire, Acq_rel or Seq_cst). *)
+val is_acquire : t -> bool
+
+(** [is_release mo] holds when an operation with order [mo] performs a
+    release operation (Release, Acq_rel or Seq_cst). *)
+val is_release : t -> bool
+
+val is_seq_cst : t -> bool
+
+(** [valid_for kind mo] rejects meaningless combinations such as an
+    acquire store or a release load. *)
+val valid_for : op_kind -> t -> bool
+
+(** [weaken kind mo] is the next weaker order used by the injection
+    experiment: seq_cst -> acq_rel (or release/acquire for plain
+    stores/loads), acq_rel -> release/acquire, acquire/release -> relaxed,
+    relaxed -> None. *)
+val weaken : op_kind -> t -> t option
+
+(** All orders valid for the given kind, strongest last. *)
+val all_for : op_kind -> t list

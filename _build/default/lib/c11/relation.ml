@@ -1,0 +1,146 @@
+type t = {
+  n : int;
+  succ : bool array array;  (* succ.(a).(b) = direct edge a -> b *)
+  mutable closure : bool array array option;  (* cached transitive closure *)
+}
+
+let create n = { n; succ = Array.make_matrix n n false; closure = None }
+
+let size r = r.n
+
+let add_edge r a b =
+  if a <> b && not r.succ.(a).(b) then begin
+    r.succ.(a).(b) <- true;
+    r.closure <- None
+  end
+
+let has_edge r a b = r.succ.(a).(b)
+
+let successors r a =
+  let out = ref [] in
+  for b = r.n - 1 downto 0 do
+    if r.succ.(a).(b) then out := b :: !out
+  done;
+  !out
+
+let predecessors r b =
+  let out = ref [] in
+  for a = r.n - 1 downto 0 do
+    if r.succ.(a).(b) then out := a :: !out
+  done;
+  !out
+
+(* Floyd–Warshall closure; n is a handful of method calls so O(n^3) is
+   irrelevant, and caching makes repeated reachability queries O(1). *)
+let closure r =
+  match r.closure with
+  | Some c -> c
+  | None ->
+    let c = Array.map Array.copy r.succ in
+    for k = 0 to r.n - 1 do
+      for i = 0 to r.n - 1 do
+        if c.(i).(k) then
+          for j = 0 to r.n - 1 do
+            if c.(k).(j) then c.(i).(j) <- true
+          done
+      done
+    done;
+    r.closure <- Some c;
+    c
+
+let reachable r a b = (closure r).(a).(b)
+
+let ordered r a b = reachable r a b || reachable r b a
+
+let is_acyclic r =
+  let c = closure r in
+  let ok = ref true in
+  for i = 0 to r.n - 1 do
+    if c.(i).(i) then ok := false
+  done;
+  !ok
+
+let down_set r node =
+  let c = closure r in
+  let out = ref [] in
+  for a = r.n - 1 downto 0 do
+    if a <> node && c.(a).(node) then out := a :: !out
+  done;
+  !out
+
+(* Enumerate linear extensions by repeatedly choosing a minimal element.
+   [pick_random] selects one uniformly instead of branching. *)
+let topological_sorts ?(max = 20_000) ?sample ~nodes r =
+  let in_nodes = Array.make r.n false in
+  List.iter (fun x -> in_nodes.(x) <- true) nodes;
+  let indeg = Array.make r.n 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun a -> if in_nodes.(a) && r.succ.(a).(b) then indeg.(b) <- indeg.(b) + 1)
+        nodes)
+    nodes;
+  let total = List.length nodes in
+  match sample with
+  | Some (count, seed) ->
+    let rng = Random.State.make [| seed |] in
+    let draw () =
+      let indeg = Array.copy indeg in
+      let avail = ref (List.filter (fun x -> indeg.(x) = 0) nodes) in
+      let acc = ref [] in
+      for _ = 1 to total do
+        match !avail with
+        | [] -> invalid_arg "topological_sorts: cycle"
+        | l ->
+          let k = Random.State.int rng (List.length l) in
+          let x = List.nth l k in
+          avail := List.filter (fun y -> y <> x) l;
+          acc := x :: !acc;
+          List.iter
+            (fun y ->
+              if in_nodes.(y) && r.succ.(x).(y) then begin
+                indeg.(y) <- indeg.(y) - 1;
+                if indeg.(y) = 0 then avail := y :: !avail
+              end)
+            nodes
+      done;
+      List.rev !acc
+    in
+    (List.init count (fun _ -> draw ()), false)
+  | None ->
+    let results = ref [] in
+    let count = ref 0 in
+    let truncated = ref false in
+    let indeg = Array.copy indeg in
+    let rec go acc picked =
+      if !count >= max then truncated := true
+      else if picked = total then begin
+        incr count;
+        results := List.rev acc :: !results
+      end
+      else
+        List.iter
+          (fun x ->
+            if (not !truncated) && indeg.(x) = 0 then begin
+              indeg.(x) <- -1;
+              let bumped = ref [] in
+              List.iter
+                (fun y ->
+                  if in_nodes.(y) && r.succ.(x).(y) then begin
+                    indeg.(y) <- indeg.(y) - 1;
+                    bumped := y :: !bumped
+                  end)
+                nodes;
+              go (x :: acc) (picked + 1);
+              List.iter (fun y -> indeg.(y) <- indeg.(y) + 1) !bumped;
+              indeg.(x) <- 0
+            end)
+          nodes
+    in
+    go [] 0;
+    (List.rev !results, !truncated)
+
+let any_topological_sort ~nodes r =
+  match topological_sorts ~max:1 ~nodes r with
+  | sort :: _, _ -> sort
+  | [], _ -> invalid_arg "any_topological_sort: cycle"

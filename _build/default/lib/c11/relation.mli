@@ -1,0 +1,48 @@
+(** Small dense-graph kit used for method-call ordering relations:
+    reachability, acyclicity, and bounded enumeration of topological
+    sorts. Node ids are [0 .. n-1]. *)
+
+type t
+
+(** [create n] is the empty relation over [n] nodes. *)
+val create : int -> t
+
+val size : t -> int
+
+(** [add_edge r a b] records [a -> b]. Self-edges are ignored. *)
+val add_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+
+(** Direct successors of a node. *)
+val successors : t -> int -> int list
+
+(** Direct predecessors of a node. *)
+val predecessors : t -> int -> int list
+
+(** [reachable r a b]: is there a path [a ->+ b]? *)
+val reachable : t -> int -> int -> bool
+
+(** [ordered r a b]: [reachable a b || reachable b a]. *)
+val ordered : t -> int -> int -> bool
+
+val is_acyclic : t -> bool
+
+(** Strict down-set of a node: every [x] with [x ->+ node]. *)
+val down_set : t -> int -> int list
+
+(** [topological_sorts ?max ?sample ~nodes r] enumerates linear extensions
+    of [r] restricted to [nodes].
+
+    With [sample = Some (count, seed)] it instead draws [count] random
+    linear extensions (with replacement) from a seeded generator — the
+    checker's "randomly generate and check a user-customized number of
+    sequential histories" option. Otherwise enumeration is exhaustive but
+    truncated after [max] (default 20_000) results. Returns the sorts and
+    whether the enumeration was truncated. *)
+val topological_sorts :
+  ?max:int -> ?sample:int * int -> nodes:int list -> t -> int list list * bool
+
+(** One arbitrary linear extension over the given nodes (raises
+    [Invalid_argument] on a cycle). *)
+val any_topological_sort : nodes:int list -> t -> int list

@@ -1,0 +1,60 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else cap * 2 in
+  let data = Array.make cap' x in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let last v = if v.len = 0 then invalid_arg "Vec.last" else v.data.(v.len - 1)
+
+let is_empty v = v.len = 0
+
+let truncate v n = if n < 0 || n > v.len then invalid_arg "Vec.truncate" else v.len <- n
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop"
+  else begin
+    v.len <- v.len - 1;
+    v.data.(v.len)
+  end
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let fold_right_while f v init =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      match f i v.data.(i) acc with
+      | `Continue acc -> go (i - 1) acc
+      | `Stop acc -> acc
+  in
+  go (v.len - 1) init

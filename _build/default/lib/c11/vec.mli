@@ -1,0 +1,29 @@
+(** Minimal growable array used for action logs and per-location store
+    lists. Indices are dense from 0 in push order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+(** Last pushed element. Raises [Invalid_argument] when empty. *)
+val last : 'a t -> 'a
+
+val is_empty : 'a t -> bool
+
+(** [truncate v n] drops elements from the end so that [length v = n]. *)
+val truncate : 'a t -> int -> unit
+
+(** Remove and return the last element. Raises [Invalid_argument] when
+    empty. *)
+val pop : 'a t -> 'a
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+
+(** [fold_right_while f v init] folds from the newest element toward the
+    oldest, stopping early when [f] returns [`Stop]. *)
+val fold_right_while : (int -> 'a -> 'b -> [ `Continue of 'b | `Stop of 'b ]) -> 'a t -> 'b -> 'b

@@ -1,0 +1,1 @@
+lib/core/annotations.ml: Mc

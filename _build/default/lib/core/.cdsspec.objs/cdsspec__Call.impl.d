@@ -1,0 +1,1 @@
+lib/core/call.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/core/call.mli: Format

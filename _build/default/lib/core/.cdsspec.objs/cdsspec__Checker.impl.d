@@ -1,0 +1,1 @@
+lib/core/checker.ml: C11 Call Fmt Format Hashtbl History List Mc Spec

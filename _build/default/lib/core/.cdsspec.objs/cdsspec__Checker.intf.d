@@ -1,0 +1,1 @@
+lib/core/checker.mli: C11 Format Mc Spec

@@ -1,0 +1,1 @@
+lib/core/history.ml: C11 Call Hashtbl List Mc

@@ -1,0 +1,1 @@
+lib/core/history.mli: C11 Call Mc

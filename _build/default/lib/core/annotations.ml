@@ -1,0 +1,24 @@
+module P = Mc.Program
+
+let api_call ?(obj = 0) ~name ~args f =
+  P.annotate (P.Method_begin { name; args; obj });
+  let ret = f () in
+  P.annotate (P.Method_end { ret });
+  ret
+
+let api_fun ?obj ~name ~args f =
+  match api_call ?obj ~name ~args (fun () -> Some (f ())) with
+  | Some v -> v
+  | None -> assert false
+
+let api_proc ?obj ~name ~args f = ignore (api_call ?obj ~name ~args (fun () -> f (); None))
+
+let op_define () = P.annotate P.Op_define
+
+let op_clear () = P.annotate P.Op_clear
+
+let op_clear_define () = P.annotate P.Op_clear_define
+
+let potential_op label = P.annotate (P.Potential_op label)
+
+let op_check label = P.annotate (P.Op_check label)

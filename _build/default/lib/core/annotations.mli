@@ -1,0 +1,43 @@
+(** Instrumentation calls placed inside data-structure implementations —
+    the runtime half of the paper's annotation language. Each simply
+    records a marker in the model checker's annotation stream; the
+    checker interprets them after each feasible execution.
+
+    Ordering-point annotations designate the calling thread's most recent
+    atomic operation, exactly like placing a [/** @OPDefine */] comment
+    right after an atomic operation in the C sources. *)
+
+(** [api_call ?obj ~name ~args f] brackets [f] with method begin/end
+    markers and records its return value. [obj] identifies the instance
+    the call operates on (default 0); the checker checks each object
+    independently against the specification, which the composability
+    theorem (paper section 3.2) justifies. Nested [api_call]s are treated
+    as internal calls: only the outermost is checked (section 4.3). *)
+val api_call : ?obj:int -> name:string -> args:int list -> (unit -> int option) -> int option
+
+(** [api_call] for int-returning methods. *)
+val api_fun : ?obj:int -> name:string -> args:int list -> (unit -> int) -> int
+
+(** [api_call] for void methods. *)
+val api_proc : ?obj:int -> name:string -> args:int list -> (unit -> unit) -> unit
+
+(** [@OPDefine: true] — the preceding atomic operation is an ordering
+    point. Make it conditional with ordinary OCaml [if]. *)
+val op_define : unit -> unit
+
+(** [@OPClear: true] — discard the ordering points collected so far in
+    the current method call. *)
+val op_clear : unit -> unit
+
+(** [@OPClearDefine: true] — [op_clear] followed by [op_define]; the
+    idiom for "the ordering point is the operation from the last loop
+    iteration". *)
+val op_clear_define : unit -> unit
+
+(** [@PotentialOP(label): true] — remember the preceding atomic operation
+    under [label]. *)
+val potential_op : string -> unit
+
+(** [@OPCheck(label): true] — confirm the operations remembered under
+    [label] as ordering points of the current method call. *)
+val op_check : string -> unit

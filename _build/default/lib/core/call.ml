@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  tid : int;
+  obj : int;
+  name : string;
+  args : int list;
+  ret : int option;
+  ordering_points : int list;
+  begin_index : int;
+  end_index : int;
+}
+
+let arg c i = match List.nth_opt c.args i with Some v -> v | None -> 0
+
+let ret_or default c = match c.ret with Some v -> v | None -> default
+
+let pp ppf c =
+  Format.fprintf ppf "%s(%a)%s [T%d]" c.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Format.pp_print_int)
+    c.args
+    (match c.ret with Some r -> Printf.sprintf " = %d" r | None -> "")
+    c.tid

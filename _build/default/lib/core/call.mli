@@ -1,0 +1,24 @@
+(** A data-structure method call extracted from an execution's
+    instrumentation stream: its identity, arguments, return value and the
+    ordering points that position it in the method-call ordering
+    relation. *)
+
+type t = {
+  id : int;  (** dense index among the calls of one execution *)
+  tid : int;
+  obj : int;  (** data-structure instance the call operates on *)
+  name : string;
+  args : int list;
+  ret : int option;
+  ordering_points : int list;  (** action ids, in annotation order *)
+  begin_index : int;  (** actions committed when the call began *)
+  end_index : int;  (** actions committed when the call returned *)
+}
+
+(** Argument access with a default, for guard expressions. *)
+val arg : t -> int -> int
+
+(** Return value, or [default] when the method returned nothing. *)
+val ret_or : int -> t -> int
+
+val pp : Format.formatter -> t -> unit

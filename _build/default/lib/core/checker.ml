@@ -1,0 +1,214 @@
+type config = {
+  max_histories : int;
+  sample_histories : (int * int) option;
+  max_prefixes : int;
+}
+
+let default_config = { max_histories = 5000; sample_histories = None; max_prefixes = 2000 }
+
+type violation = {
+  kind : [ `Admissibility | `Assertion | `Unjustified | `Cyclic_ordering ];
+  message : string;
+}
+
+let pp_violation ppf v =
+  let kind =
+    match v.kind with
+    | `Admissibility -> "admissibility"
+    | `Assertion -> "assertion"
+    | `Unjustified -> "unjustified"
+    | `Cyclic_ordering -> "cyclic-ordering"
+  in
+  Format.fprintf ppf "%s: %s" kind v.message
+
+let str = Format.asprintf
+
+(* Replay one sequential history: thread the sequential state through the
+   calls, checking pre/postconditions. Returns the first failure. *)
+let replay_history (type st) (spec : st Spec.t) info_of (history : Call.t list) =
+  let rec go state = function
+    | [] -> None
+    | (call : Call.t) :: rest ->
+      let m = Spec.method_spec spec call.name in
+      let info = info_of call in
+      let pre_ok = match m.precondition with Some p -> p state info | None -> true in
+      if not pre_ok then Some (call, "precondition failed")
+      else begin
+        let state, s_ret =
+          match m.side_effect with
+          | Some f -> f state info
+          | None -> (state, None)
+        in
+        let post_ok = match m.postcondition with Some p -> p state info ~s_ret | None -> true in
+        if not post_ok then
+          Some
+            ( call,
+              str "postcondition failed (C_RET=%s, S_RET=%s)"
+                (match call.ret with Some r -> string_of_int r | None -> "-")
+                (match s_ret with Some r -> string_of_int r | None -> "-") )
+        else go state rest
+      end
+  in
+  go (spec.initial ()) history
+
+(* Replay one justifying subhistory of [m] (m is its last element): the
+   prefix must itself satisfy the specification, and m's justifying
+   pre/postconditions must hold around m's own side effect (Def. 4). *)
+let replay_justifying (type st) (spec : st Spec.t) info_of (subhistory : Call.t list) =
+  let rec go state = function
+    | [] -> false
+    | [ (m : Call.t) ] ->
+      let ms = Spec.method_spec spec m.name in
+      let info = info_of m in
+      let pre_ok =
+        match ms.justifying_precondition with Some p -> p state info | None -> true
+      in
+      pre_ok
+      &&
+      let state, s_ret =
+        match ms.side_effect with Some f -> f state info | None -> (state, None)
+      in
+      (match ms.justifying_postcondition with Some p -> p state info ~s_ret | None -> true)
+    | (call : Call.t) :: rest ->
+      let m = Spec.method_spec spec call.name in
+      let info = info_of call in
+      let pre_ok = match m.precondition with Some p -> p state info | None -> true in
+      pre_ok
+      &&
+      let state, s_ret =
+        match m.side_effect with Some f -> f state info | None -> (state, None)
+      in
+      (match m.postcondition with Some p -> p state info ~s_ret | None -> true) && go state rest
+  in
+  go (spec.initial ()) subhistory
+
+let check_admissibility (type st) (spec : st Spec.t) relation calls =
+  let violations = ref [] in
+  let pairs = History.unordered_pairs relation calls in
+  List.iter
+    (fun ((a : Call.t), (b : Call.t)) ->
+      List.iter
+        (fun (rule : Spec.admissibility_rule) ->
+          let check m1 m2 =
+            if m1.Call.name = rule.first && m2.Call.name = rule.second && rule.requires_order m1 m2
+            then
+              violations :=
+                {
+                  kind = `Admissibility;
+                  message =
+                    str "calls %a and %a must be ordered but are not" Call.pp m1 Call.pp m2;
+                }
+                :: !violations
+          in
+          check a b;
+          if a.name <> b.name || rule.first <> rule.second then check b a)
+        spec.admissibility)
+    pairs;
+  List.rev !violations
+
+(* Check the calls of ONE object instance (ids renumbered densely). *)
+let check_object (type st) ~config (spec : st Spec.t) exec calls =
+  if calls = [] then []
+  else begin
+    let relation = History.ordering_relation exec calls in
+    if not (C11.Relation.is_acyclic relation) then
+      [
+        {
+          kind = `Cyclic_ordering;
+          message = "ordering points induce a cyclic method-call relation";
+        };
+      ]
+    else begin
+      let info_of =
+        let cache = Hashtbl.create 8 in
+        fun (c : Call.t) ->
+          match Hashtbl.find_opt cache c.id with
+          | Some i -> i
+          | None ->
+            let i = { Spec.call = c; concurrent = History.concurrent relation calls c } in
+            Hashtbl.add cache c.id i;
+            i
+      in
+      let admissibility = check_admissibility spec relation calls in
+      if admissibility <> [] then admissibility
+      else begin
+        (* Def. 6: the specification must hold on every valid sequential
+           history. *)
+        let histories, _truncated =
+          History.histories ~max:config.max_histories ?sample:config.sample_histories relation
+            calls
+        in
+        let history_violation =
+          List.find_map
+            (fun history ->
+              match replay_history spec info_of history with
+              | None -> None
+              | Some (call, why) ->
+                Some
+                  {
+                    kind = `Assertion;
+                    message =
+                      str "%s in history %a for call %a" why
+                        Fmt.(list ~sep:(any " -> ") Call.pp)
+                        history Call.pp call;
+                  })
+            histories
+        in
+        match history_violation with
+        | Some v -> [ v ]
+        | None ->
+          (* Justify non-deterministic behaviours: some justifying
+             subhistory (with the CONCURRENT set available to the
+             predicates) must accept each call (Defs. 3-4). *)
+          let unjustified =
+            List.filter_map
+              (fun (m : Call.t) ->
+                let ms = Spec.method_spec spec m.name in
+                if not (Spec.needs_justification ms) then None
+                else begin
+                  let subs =
+                    History.justifying_subhistories ~max:config.max_prefixes relation calls m
+                  in
+                  if List.exists (replay_justifying spec info_of) subs then None
+                  else
+                    Some
+                      {
+                        kind = `Unjustified;
+                        message =
+                          str "call %a has no justifying subhistory for its behaviour" Call.pp m;
+                      }
+                end)
+              calls
+          in
+          unjustified
+      end
+    end
+  end
+
+(* Composability (paper section 3.2): each object instance is checked
+   against the specification independently. *)
+let check_spec (type st) ~config (spec : st Spec.t) exec annots =
+  let calls = History.calls_of_annots exec annots in
+  let objs = List.sort_uniq compare (List.map (fun (c : Call.t) -> c.obj) calls) in
+  List.concat_map
+    (fun obj ->
+      let group = List.filter (fun (c : Call.t) -> c.obj = obj) calls in
+      let group = List.mapi (fun i (c : Call.t) -> { c with id = i }) group in
+      check_object ~config spec exec group)
+    objs
+
+let check_execution ?(config = default_config) (Spec.Packed spec) exec annots =
+  check_spec ~config spec exec annots
+
+let hook ?config packed exec annots =
+  List.map
+    (fun v ->
+      let kind =
+        match v.kind with
+        | `Admissibility -> "admissibility"
+        | `Assertion -> "assertion"
+        | `Unjustified -> "unjustified"
+        | `Cyclic_ordering -> "cyclic-ordering"
+      in
+      Mc.Bug.Spec_violation { kind; message = v.message })
+    (check_execution ?config packed exec annots)

@@ -1,0 +1,39 @@
+(** The CDSSpec checking pass run on every feasible execution (paper
+    section 5.2): extract the method calls and the ordering relation,
+    check admissibility, replay every valid sequential history against
+    the equivalent sequential data structure, and require every
+    non-deterministic behaviour to be justified by some justifying
+    subhistory (or by the CONCURRENT set, which the justifying predicates
+    may consult). *)
+
+type config = {
+  max_histories : int;
+      (** truncate exhaustive enumeration of sequential histories *)
+  sample_histories : (int * int) option;
+      (** [(count, seed)]: randomly sample instead of exhausting — the
+          checker's "check a user-customized number of histories" option *)
+  max_prefixes : int;  (** cap on justifying subhistories per call *)
+}
+
+val default_config : config
+
+type violation = {
+  kind : [ `Admissibility | `Assertion | `Unjustified | `Cyclic_ordering ];
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Check one execution; the empty list means the specification holds. *)
+val check_execution :
+  ?config:config ->
+  Spec.packed ->
+  C11.Execution.t ->
+  Mc.Scheduler.annot list ->
+  violation list
+
+(** [hook spec] packages {!check_execution} as an [Explorer.explore]
+    [on_feasible] callback, mapping violations to
+    {!Mc.Bug.Spec_violation}s. *)
+val hook :
+  ?config:config -> Spec.packed -> C11.Execution.t -> Mc.Scheduler.annot list -> Mc.Bug.t list

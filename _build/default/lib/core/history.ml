@@ -1,0 +1,116 @@
+module Annot = Mc.Scheduler
+
+(* Per-thread reconstruction state while scanning the annotation stream. *)
+type open_call = {
+  name : string;
+  args : int list;
+  obj : int;
+  begin_index : int;
+  mutable depth : int;  (* nesting of internal api_call brackets *)
+  mutable ops : int list;  (* ordering-point action ids, reverse order *)
+  mutable potential : (string * int) list;  (* labelled potential OPs *)
+}
+
+let calls_of_annots _exec annots =
+  let open_calls : (int, open_call) Hashtbl.t = Hashtbl.create 8 in
+  let finished = ref [] in
+  let count = ref 0 in
+  let handle (a : Annot.annot) =
+    let current = Hashtbl.find_opt open_calls a.tid in
+    match a.annotation, current with
+    | Mc.Program.Method_begin { name; args; obj }, None ->
+      Hashtbl.replace open_calls a.tid
+        { name; args; obj; begin_index = a.index; depth = 1; ops = []; potential = [] }
+    | Method_begin _, Some oc -> oc.depth <- oc.depth + 1
+    | Method_end { ret }, Some oc ->
+      oc.depth <- oc.depth - 1;
+      if oc.depth = 0 then begin
+        Hashtbl.remove open_calls a.tid;
+        let id = !count in
+        incr count;
+        finished :=
+          {
+            Call.id;
+            tid = a.tid;
+            obj = oc.obj;
+            name = oc.name;
+            args = oc.args;
+            ret;
+            ordering_points = List.rev oc.ops;
+            begin_index = oc.begin_index;
+            end_index = a.index;
+          }
+          :: !finished
+      end
+    | Method_end _, None -> invalid_arg "calls_of_annots: Method_end without Method_begin"
+    | Op_define, Some oc -> (
+      match a.op_action with
+      | Some id -> oc.ops <- id :: oc.ops
+      | None -> ())
+    | Op_clear, Some oc -> oc.ops <- []
+    | Op_clear_define, Some oc -> (
+      oc.ops <- [];
+      match a.op_action with
+      | Some id -> oc.ops <- [ id ]
+      | None -> ())
+    | Potential_op label, Some oc -> (
+      match a.op_action with
+      | Some id -> oc.potential <- (label, id) :: oc.potential
+      | None -> ())
+    | Op_check label, Some oc ->
+      List.iter (fun (l, id) -> if l = label then oc.ops <- id :: oc.ops) oc.potential
+    | (Op_define | Op_clear | Op_clear_define | Potential_op _ | Op_check _), None ->
+      (* an ordering-point annotation outside any API call is ignored *)
+      ()
+  in
+  List.iter handle annots;
+  List.sort (fun (a : Call.t) b -> compare a.id b.id) !finished
+
+let ordering_relation exec (calls : Call.t list) =
+  let n = List.length calls in
+  let r = C11.Relation.create n in
+  List.iter
+    (fun (a : Call.t) ->
+      List.iter
+        (fun (b : Call.t) ->
+          if a.id <> b.id then
+            let ordered =
+              List.exists
+                (fun x -> List.exists (fun y -> C11.Execution.hb_or_sc exec x y) b.ordering_points)
+                a.ordering_points
+            in
+            if ordered then C11.Relation.add_edge r a.id b.id)
+        calls)
+    calls;
+  r
+
+let concurrent r calls (m : Call.t) =
+  List.filter (fun (c : Call.t) -> c.id <> m.id && not (C11.Relation.ordered r c.id m.id)) calls
+
+let unordered_pairs r calls =
+  let pairs = ref [] in
+  List.iter
+    (fun (a : Call.t) ->
+      List.iter
+        (fun (b : Call.t) ->
+          if a.id < b.id && not (C11.Relation.ordered r a.id b.id) then pairs := (a, b) :: !pairs)
+        calls)
+    calls;
+  List.rev !pairs
+
+let by_id calls =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (c : Call.t) -> Hashtbl.replace tbl c.id c) calls;
+  fun id -> Hashtbl.find tbl id
+
+let histories ?max ?sample r calls =
+  let find = by_id calls in
+  let nodes = List.map (fun (c : Call.t) -> c.id) calls in
+  let sorts, truncated = C11.Relation.topological_sorts ?max ?sample ~nodes r in
+  (List.map (List.map find) sorts, truncated)
+
+let justifying_subhistories ?max r calls (m : Call.t) =
+  let find = by_id calls in
+  let nodes = C11.Relation.down_set r m.id in
+  let sorts, _ = C11.Relation.topological_sorts ?max ~nodes r in
+  List.map (fun sort -> List.map find sort @ [ m ]) sorts

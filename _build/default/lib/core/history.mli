@@ -1,0 +1,33 @@
+(** From one feasible execution to the method-call level: extract calls
+    from the annotation stream, build the ordering relation ⊑r from the
+    hb/sc ordering of their ordering points, and enumerate the valid
+    sequential histories and justifying subhistories the checker replays
+    (paper Definitions 2 and 3, section 5.2). *)
+
+(** [calls_of_annots exec annots] reconstructs the outermost API method
+    calls per thread. Ordering-point annotations inside nested (internal)
+    calls accrue to the outermost call. *)
+val calls_of_annots : C11.Execution.t -> Mc.Scheduler.annot list -> Call.t list
+
+(** [ordering_relation exec calls] is ⊑r: call [a] precedes call [b] when
+    some ordering point of [a] is hb- or SC-ordered before one of [b].
+    Node ids are call ids. *)
+val ordering_relation : C11.Execution.t -> Call.t list -> C11.Relation.t
+
+(** The CONCURRENT set of a call: calls unordered with it under ⊑r. *)
+val concurrent : C11.Relation.t -> Call.t list -> Call.t -> Call.t list
+
+(** Unordered pairs [(a, b)] with [a.id < b.id], for admissibility. *)
+val unordered_pairs : C11.Relation.t -> Call.t list -> (Call.t * Call.t) list
+
+(** [histories ?max ?sample r calls] enumerates valid sequential
+    histories (linear extensions of ⊑r over all calls). Returns the
+    histories and whether enumeration was truncated. *)
+val histories :
+  ?max:int -> ?sample:int * int -> C11.Relation.t -> Call.t list -> Call.t list list * bool
+
+(** [justifying_subhistories ?max r calls m] enumerates the justifying
+    subhistories of [m]: linearizations of ⊑r's strict down-set of [m],
+    each with [m] appended. *)
+val justifying_subhistories :
+  ?max:int -> C11.Relation.t -> Call.t list -> Call.t -> Call.t list list

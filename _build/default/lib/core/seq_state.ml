@@ -1,0 +1,67 @@
+module Int_list = struct
+  type t = int list
+
+  let empty = []
+  let is_empty t = t = []
+  let length = List.length
+  let push_back v t = t @ [ v ]
+  let push_front v t = v :: t
+
+  let front = function
+    | [] -> None
+    | x :: _ -> Some x
+
+  let rec back = function
+    | [] -> None
+    | [ x ] -> Some x
+    | _ :: tl -> back tl
+
+  let pop_front = function
+    | [] -> []
+    | _ :: tl -> tl
+
+  let rec pop_back = function
+    | [] | [ _ ] -> []
+    | x :: tl -> x :: pop_back tl
+
+  let mem = List.mem
+
+  let rec remove v = function
+    | [] -> []
+    | x :: tl -> if x = v then tl else x :: remove v tl
+
+  let to_list t = t
+  let of_list t = t
+
+  let pp ppf t =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Format.pp_print_int)
+      t
+end
+
+module Int_set = struct
+  module S = Set.Make (Int)
+
+  type t = S.t
+
+  let empty = S.empty
+  let add = S.add
+  let remove = S.remove
+  let mem = S.mem
+  let cardinal = S.cardinal
+  let to_list = S.elements
+end
+
+module Int_map = struct
+  module M = Map.Make (Int)
+
+  type t = int M.t
+
+  let empty = M.empty
+  let put ~key ~value t = M.add key value t
+  let get ~key t = M.find_opt key t
+  let get_or default ~key t = match M.find_opt key t with Some v -> v | None -> default
+  let remove ~key t = M.remove key t
+  let cardinal = M.cardinal
+  let bindings = M.bindings
+end

@@ -1,0 +1,57 @@
+(** Pre-defined equivalent-sequential-structure state types (the paper's
+    [IntList], set and hashmap "useful pre-defined types", section 4.1).
+    All are immutable, so the checker's Copy/Clear obligations are
+    trivially satisfied by sharing. *)
+
+module Int_list : sig
+  (** An ordered list of ints — the sequential FIFO/deque state. *)
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val length : t -> int
+  val push_back : int -> t -> t
+  val push_front : int -> t -> t
+
+  (** [front t] is [None] on the empty list. *)
+  val front : t -> int option
+
+  val back : t -> int option
+  val pop_front : t -> t
+  val pop_back : t -> t
+  val mem : int -> t -> bool
+
+  (** Remove the first occurrence, if any. *)
+  val remove : int -> t -> t
+
+  val to_list : t -> int list
+  val of_list : int list -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int_set : sig
+  type t
+
+  val empty : t
+  val add : int -> t -> t
+  val remove : int -> t -> t
+  val mem : int -> t -> bool
+  val cardinal : t -> int
+  val to_list : t -> int list
+end
+
+module Int_map : sig
+  (** The sequential hashmap state: int keys to int values. *)
+  type t
+
+  val empty : t
+  val put : key:int -> value:int -> t -> t
+  val get : key:int -> t -> int option
+
+  (** [get_or default] mirrors hashtables that return 0/NULL on a miss. *)
+  val get_or : int -> key:int -> t -> int
+
+  val remove : key:int -> t -> t
+  val cardinal : t -> int
+  val bindings : t -> (int * int) list
+end

@@ -1,0 +1,54 @@
+type info = {
+  call : Call.t;
+  concurrent : Call.t list;
+}
+
+type 'st method_spec = {
+  side_effect : ('st -> info -> 'st * int option) option;
+  precondition : ('st -> info -> bool) option;
+  postcondition : ('st -> info -> s_ret:int option -> bool) option;
+  justifying_precondition : ('st -> info -> bool) option;
+  justifying_postcondition : ('st -> info -> s_ret:int option -> bool) option;
+}
+
+let default_method =
+  {
+    side_effect = None;
+    precondition = None;
+    postcondition = None;
+    justifying_precondition = None;
+    justifying_postcondition = None;
+  }
+
+type admissibility_rule = {
+  first : string;
+  second : string;
+  requires_order : Call.t -> Call.t -> bool;
+}
+
+type accounting = {
+  spec_lines : int;
+  ordering_point_lines : int;
+  admissibility_lines : int;
+  api_methods : int;
+}
+
+type 'st t = {
+  name : string;
+  initial : unit -> 'st;
+  methods : (string * 'st method_spec) list;
+  admissibility : admissibility_rule list;
+  accounting : accounting;
+}
+
+type packed = Packed : 'st t -> packed
+
+let method_spec t name =
+  match List.assoc_opt name t.methods with
+  | Some m -> m
+  | None -> default_method
+
+let needs_justification m =
+  match m.justifying_precondition, m.justifying_postcondition with
+  | None, None -> false
+  | Some _, _ | _, Some _ -> true

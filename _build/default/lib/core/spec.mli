@@ -1,0 +1,77 @@
+(** CDSSpec specifications: the OCaml rendering of the paper's annotation
+    language (Figure 5). A specification pairs an equivalent sequential
+    data structure (its state type ['st] and per-method side effects)
+    with assertions, justifying conditions for non-deterministic
+    behaviours, and admissibility rules.
+
+    Correspondence with the paper's annotations:
+    - [@DeclareState]/[@Initial] — the ['st] type and [initial];
+      [@Copy]/[@Clear] are unnecessary because states are immutable.
+    - [@SideEffect] — [side_effect], which also computes [S_RET].
+    - [@PreCondition]/[@PostCondition] — [precondition]/[postcondition],
+      evaluated when replaying valid sequential histories.
+    - [@JustifyingPrecondition]/[@JustifyingPostcondition] —
+      evaluated when replaying justifying subhistories; these predicates
+      may consult the CONCURRENT set.
+    - [@Admit: m1 <-> m2 (guard)] — an {!admissibility_rule}. *)
+
+(** Everything a predicate may inspect about the concurrent call being
+    checked: the call itself (C_RET, arguments) and its CONCURRENT set. *)
+type info = {
+  call : Call.t;
+  concurrent : Call.t list;
+}
+
+(** Specification of one API method against sequential state ['st].
+    [side_effect] returns the updated state and the sequential return
+    value [S_RET] (None for void methods). Omitted predicates default to
+    [true]; an omitted side effect leaves the state unchanged. *)
+type 'st method_spec = {
+  side_effect : ('st -> info -> 'st * int option) option;
+  precondition : ('st -> info -> bool) option;
+  postcondition : ('st -> info -> s_ret:int option -> bool) option;
+  justifying_precondition : ('st -> info -> bool) option;
+  justifying_postcondition : ('st -> info -> s_ret:int option -> bool) option;
+}
+
+val default_method : 'st method_spec
+
+(** [@Admit: first <-> second (guard)]: when an unordered pair of calls
+    matches [(first, second)] (in either orientation; the call bound to
+    [first] is passed first) and [requires_order] returns true, the
+    execution is inadmissible. Absent any matching rule a pair need not
+    be ordered. *)
+type admissibility_rule = {
+  first : string;
+  second : string;
+  requires_order : Call.t -> Call.t -> bool;
+}
+
+(** Static accounting used by the paper's section 6.2 expressiveness
+    table; filled in by hand per benchmark, mirroring counting lines of
+    [/** @... */] annotations in the C sources. *)
+type accounting = {
+  spec_lines : int;  (** total lines of specification *)
+  ordering_point_lines : int;  (** lines that are ordering-point annotations *)
+  admissibility_lines : int;
+  api_methods : int;
+}
+
+type 'st t = {
+  name : string;
+  initial : unit -> 'st;
+  methods : (string * 'st method_spec) list;
+  admissibility : admissibility_rule list;
+  accounting : accounting;
+}
+
+(** Existential wrapper so heterogeneous specifications can share a
+    checker. *)
+type packed = Packed : 'st t -> packed
+
+val method_spec : 'st t -> string -> 'st method_spec
+
+(** True when the method declares a justifying pre- or postcondition,
+    i.e. has specified non-deterministic behaviours that must be
+    justified. *)
+val needs_justification : 'st method_spec -> bool

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: C11 Cdsspec Fmt Format List Mc Structures

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: C11 Cdsspec Format Structures

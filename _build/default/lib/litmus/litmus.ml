@@ -1,0 +1,338 @@
+module P = Mc.Program
+open C11.Memory_order
+
+type t = {
+  name : string;
+  description : string;
+  program : unit -> int list;
+  allowed : int list list;
+  forbidden : int list list;
+}
+
+type result = {
+  test : t;
+  observed : int list list;
+  missing : int list list;
+  violations : int list list;
+  executions : int;
+  feasible : int;
+}
+
+let ok r = r.missing = [] && r.violations = []
+
+(* Observation cells are ordinary locations written non-atomically by the
+   observing threads before they finish; joins make the final values
+   well-defined race-free reads. *)
+let cell () = P.malloc ~init:(-1) 1
+
+let run test =
+  let cells = ref [] in
+  let observed = ref [] in
+  let r =
+    Mc.Explorer.explore
+      ~on_feasible:(fun exec _ ->
+        let outcome =
+          List.map
+            (fun loc ->
+              match C11.Execution.last_write exec loc with
+              | Some w -> ( match w.C11.Action.written_value with Some v -> v | None -> -1)
+              | None -> -1)
+            !cells
+        in
+        if not (List.mem outcome !observed) then observed := outcome :: !observed;
+        [])
+      (fun () -> cells := test.program ())
+  in
+  let observed = List.sort Stdlib.compare !observed in
+  {
+    test;
+    observed;
+    missing = List.filter (fun o -> not (List.mem o observed)) test.allowed;
+    violations = List.filter (fun o -> List.mem o observed) test.forbidden;
+    executions = r.stats.explored;
+    feasible = r.stats.feasible;
+  }
+
+let pp_result ppf r =
+  let pp_outcome ppf o =
+    Format.fprintf ppf "(%s)" (String.concat "," (List.map string_of_int o))
+  in
+  let pp_set = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_outcome in
+  Format.fprintf ppf "%-24s %-4s observed: %a" r.test.name
+    (if ok r then "ok" else "FAIL")
+    pp_set r.observed;
+  if r.missing <> [] then Format.fprintf ppf "  MISSING: %a" pp_set r.missing;
+  if r.violations <> [] then Format.fprintf ppf "  FORBIDDEN SEEN: %a" pp_set r.violations
+
+(* ------------------------------------------------------------------ *)
+(* Corpus. Each program returns its observation cells.                 *)
+
+let two_threads f1 f2 =
+  let t1 = P.spawn f1 in
+  let t2 = P.spawn f2 in
+  P.join t1;
+  P.join t2
+
+let sb mo_s mo_l () =
+  let x = P.malloc ~init:0 1 in
+  let y = P.malloc ~init:0 1 in
+  let r1 = cell () in
+  let r2 = cell () in
+  two_threads
+    (fun () ->
+      P.store mo_s x 1;
+      P.na_store r1 (P.load mo_l y))
+    (fun () ->
+      P.store mo_s y 1;
+      P.na_store r2 (P.load mo_l x));
+  [ r1; r2 ]
+
+let mp mo_s mo_l () =
+  let d = P.malloc ~init:0 1 in
+  let f = P.malloc ~init:0 1 in
+  let r1 = cell () in
+  let r2 = cell () in
+  two_threads
+    (fun () ->
+      P.store Relaxed d 1;
+      P.store mo_s f 1)
+    (fun () ->
+      P.na_store r1 (P.load mo_l f);
+      P.na_store r2 (P.load Relaxed d));
+  [ r1; r2 ]
+
+let lb mo () =
+  let x = P.malloc ~init:0 1 in
+  let y = P.malloc ~init:0 1 in
+  let r1 = cell () in
+  let r2 = cell () in
+  two_threads
+    (fun () ->
+      P.na_store r1 (P.load mo x);
+      P.store mo y 1)
+    (fun () ->
+      P.na_store r2 (P.load mo y);
+      P.store mo x 1);
+  [ r1; r2 ]
+
+let iriw mo_s mo_l () =
+  let x = P.malloc ~init:0 1 in
+  let y = P.malloc ~init:0 1 in
+  let a = cell () and b = cell () and c = cell () and d = cell () in
+  let w1 = P.spawn (fun () -> P.store mo_s x 1) in
+  let w2 = P.spawn (fun () -> P.store mo_s y 1) in
+  let r1 =
+    P.spawn (fun () ->
+        P.na_store a (P.load mo_l x);
+        P.na_store b (P.load mo_l y))
+  in
+  let r2 =
+    P.spawn (fun () ->
+        P.na_store c (P.load mo_l y);
+        P.na_store d (P.load mo_l x))
+  in
+  P.join w1;
+  P.join w2;
+  P.join r1;
+  P.join r2;
+  [ a; b; c; d ]
+
+let coherence_rr () =
+  let x = P.malloc ~init:0 1 in
+  let r1 = cell () and r2 = cell () in
+  two_threads
+    (fun () -> P.store Relaxed x 1)
+    (fun () ->
+      P.na_store r1 (P.load Relaxed x);
+      P.na_store r2 (P.load Relaxed x));
+  [ r1; r2 ]
+
+let two_plus_two_w () =
+  let x = P.malloc ~init:0 1 in
+  let y = P.malloc ~init:0 1 in
+  let r1 = cell () and r2 = cell () in
+  two_threads
+    (fun () ->
+      P.store Relaxed x 1;
+      P.store Relaxed y 2)
+    (fun () ->
+      P.store Relaxed y 1;
+      P.store Relaxed x 2);
+  P.na_store r1 (P.load Relaxed x);
+  P.na_store r2 (P.load Relaxed y);
+  [ r1; r2 ]
+
+let rwc () =
+  (* read-to-write causality: T1: x=1. T2: r1=x; r2=y. T3: y=1; r3=x
+     (sc everywhere forbids r1=1, r2=0, r3=0) *)
+  let x = P.malloc ~init:0 1 in
+  let y = P.malloc ~init:0 1 in
+  let r1 = cell () and r2 = cell () and r3 = cell () in
+  let t1 = P.spawn (fun () -> P.store Seq_cst x 1) in
+  let t2 =
+    P.spawn (fun () ->
+        P.na_store r1 (P.load Seq_cst x);
+        P.na_store r2 (P.load Seq_cst y))
+  in
+  let t3 =
+    P.spawn (fun () ->
+        P.store Seq_cst y 1;
+        P.na_store r3 (P.load Seq_cst x))
+  in
+  P.join t1;
+  P.join t2;
+  P.join t3;
+  [ r1; r2; r3 ]
+
+let sb_fences () =
+  let x = P.malloc ~init:0 1 in
+  let y = P.malloc ~init:0 1 in
+  let r1 = cell () and r2 = cell () in
+  two_threads
+    (fun () ->
+      P.store Relaxed x 1;
+      P.fence Seq_cst;
+      P.na_store r1 (P.load Relaxed y))
+    (fun () ->
+      P.store Relaxed y 1;
+      P.fence Seq_cst;
+      P.na_store r2 (P.load Relaxed x));
+  [ r1; r2 ]
+
+let mp_fences () =
+  let d = P.malloc ~init:0 1 in
+  let f = P.malloc ~init:0 1 in
+  let r1 = cell () and r2 = cell () in
+  two_threads
+    (fun () ->
+      P.store Relaxed d 1;
+      P.fence Release;
+      P.store Relaxed f 1)
+    (fun () ->
+      P.na_store r1 (P.load Relaxed f);
+      P.fence Acquire;
+      P.na_store r2 (P.load Relaxed d));
+  [ r1; r2 ]
+
+let release_sequence () =
+  let d = P.malloc ~init:0 1 in
+  let f = P.malloc ~init:0 1 in
+  let r1 = cell () and r2 = cell () in
+  let t1 =
+    P.spawn (fun () ->
+        P.store Relaxed d 1;
+        P.store Release f 1)
+  in
+  let t2 = P.spawn (fun () -> ignore (P.fetch_add Relaxed f 1)) in
+  let t3 =
+    P.spawn (fun () ->
+        let v = P.load Acquire f in
+        P.na_store r1 v;
+        if v = 2 then P.na_store r2 (P.load Relaxed d) else P.na_store r2 9)
+  in
+  P.join t1;
+  P.join t2;
+  P.join t3;
+  [ r1; r2 ]
+
+let all =
+  [
+    {
+      name = "SB+rlx";
+      description = "store buffering, relaxed: all four outcomes";
+      program = sb Relaxed Relaxed;
+      allowed = [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ];
+      forbidden = [];
+    };
+    {
+      name = "SB+sc";
+      description = "store buffering, seq_cst: 0,0 forbidden";
+      program = sb Seq_cst Seq_cst;
+      allowed = [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ];
+      forbidden = [ [ 0; 0 ] ];
+    };
+    {
+      name = "SB+scfences";
+      description = "store buffering with seq_cst fences: 0,0 forbidden";
+      program = sb_fences;
+      allowed = [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ];
+      forbidden = [ [ 0; 0 ] ];
+    };
+    {
+      name = "MP+rlx";
+      description = "message passing, relaxed: stale data observable";
+      program = mp Relaxed Relaxed;
+      allowed = [ [ 0; 0 ]; [ 1; 0 ]; [ 1; 1 ] ];
+      forbidden = [];
+    };
+    {
+      name = "MP+rel+acq";
+      description = "message passing, release/acquire: flag=1 implies data=1";
+      program = mp Release Acquire;
+      allowed = [ [ 0; 0 ]; [ 1; 1 ] ];
+      forbidden = [ [ 1; 0 ] ];
+    };
+    {
+      name = "MP+fences";
+      description = "message passing through release/acquire fences";
+      program = mp_fences;
+      allowed = [ [ 0; 0 ]; [ 1; 1 ] ];
+      forbidden = [ [ 1; 0 ] ];
+    };
+    {
+      name = "LB+rlx";
+      description =
+        "load buffering: C11 allows 1,1 but no exhaustive explorer without promises generates \
+         it (documented approximation, like CDSChecker's exclusion of satisfaction cycles)";
+      program = lb Relaxed;
+      allowed = [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ] ];
+      forbidden = [];
+    };
+    {
+      name = "IRIW+rel+acq";
+      description = "independent reads of independent writes: split under rel/acq";
+      program = iriw Release Acquire;
+      allowed = [ [ 1; 0; 1; 0 ]; [ 1; 1; 1; 1 ]; [ 0; 0; 0; 0 ] ];
+      forbidden = [];
+    };
+    {
+      name = "IRIW+sc";
+      description = "IRIW, seq_cst: readers agree on the order";
+      program = iriw Seq_cst Seq_cst;
+      allowed = [ [ 1; 1; 1; 1 ]; [ 0; 0; 0; 0 ] ];
+      forbidden = [ [ 1; 0; 1; 0 ] ];
+    };
+    {
+      name = "CoRR";
+      description = "read-read coherence: per-location new-then-old forbidden";
+      program = coherence_rr;
+      allowed = [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 1 ] ];
+      forbidden = [ [ 1; 0 ] ];
+    };
+    {
+      name = "2+2W+rlx";
+      description =
+        "double write crossing. C11 additionally allows (1,1) — modification orders that \
+         embed in no global order — which the mo-as-commit-order approximation (shared \
+         with schedule-based explorers; see DESIGN.md) does not generate";
+      program = two_plus_two_w;
+      allowed = [ [ 2; 2 ]; [ 2; 1 ]; [ 1; 2 ] ];
+      forbidden = [];
+    };
+    {
+      name = "RWC+sc";
+      description = "read-to-write causality under seq_cst";
+      program = rwc;
+      allowed = [ [ 1; 1; 1 ] ];
+      forbidden = [ [ 1; 0; 0 ] ];
+    };
+    {
+      name = "RelSeq";
+      description = "release sequence through a foreign RMW transfers synchronization";
+      program = release_sequence;
+      allowed = [ [ 2; 1 ] ];
+      forbidden = [ [ 2; 0 ] ];
+    };
+  ]
+
+let find name = List.find_opt (fun t -> t.name = name) all

@@ -1,0 +1,36 @@
+(** A corpus of classic C/C++11 litmus tests with their expected outcome
+    sets, used to validate the memory-model engine (and as living
+    documentation of which weak behaviours it admits). Each test is a
+    small program whose threads record observations; running it collects
+    the set of observed outcome tuples across all feasible executions. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : unit -> int list;
+      (** build and return observation cells; the harness reads them after
+          each feasible execution (see {!run}) *)
+  allowed : int list list;  (** outcomes that MUST be observed *)
+  forbidden : int list list;  (** outcomes that must NOT be observed *)
+}
+
+(** All corpus entries. *)
+val all : t list
+
+val find : string -> t option
+
+type result = {
+  test : t;
+  observed : int list list;  (** sorted, deduplicated *)
+  missing : int list list;  (** allowed but never observed *)
+  violations : int list list;  (** forbidden but observed *)
+  executions : int;
+  feasible : int;
+}
+
+val ok : result -> bool
+
+(** Run one litmus test to completion. *)
+val run : t -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/mc/bug.ml: C11 Format List Printf String

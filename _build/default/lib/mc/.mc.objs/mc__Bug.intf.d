@@ -1,0 +1,1 @@
+lib/mc/bug.mli: C11 Format

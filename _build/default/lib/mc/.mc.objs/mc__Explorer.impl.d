@@ -1,0 +1,1 @@
+lib/mc/explorer.ml: Array Bug C11 Fmt Hashtbl List Scheduler Unix

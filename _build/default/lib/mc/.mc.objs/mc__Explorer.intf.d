@@ -1,0 +1,1 @@
+lib/mc/explorer.mli: Bug C11 Scheduler

@@ -1,0 +1,1 @@
+lib/mc/program.ml: C11 Effect

@@ -1,0 +1,1 @@
+lib/mc/program.mli: C11 Effect

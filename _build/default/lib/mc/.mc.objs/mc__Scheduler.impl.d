@@ -1,0 +1,1 @@
+lib/mc/scheduler.ml: Array Bug C11 Effect Hashtbl List Printexc Printf Program

@@ -1,0 +1,1 @@
+lib/mc/scheduler.mli: Bug C11 Program

@@ -1,0 +1,27 @@
+type t =
+  | Data_race of { first : C11.Action.t; second : C11.Action.t }
+  | Uninitialized_load of C11.Action.t
+  | Deadlock of { blocked_tids : int list }
+  | Assertion_failure of { tid : int; message : string }
+  | Spec_violation of { kind : string; message : string }
+
+let site_or a = match a.C11.Action.site with Some s -> s | None -> Printf.sprintf "T%d" a.tid
+
+let key = function
+  | Data_race { first; second } -> Printf.sprintf "race:%s/%s@%d" (site_or first) (site_or second) first.loc
+  | Uninitialized_load a -> Printf.sprintf "uninit:%s@%d" (site_or a) a.loc
+  | Deadlock { blocked_tids } ->
+    Printf.sprintf "deadlock:%s" (String.concat "," (List.map string_of_int blocked_tids))
+  | Assertion_failure { message; _ } -> Printf.sprintf "assert:%s" message
+  | Spec_violation { kind; message } -> Printf.sprintf "spec:%s:%s" kind message
+
+let pp ppf = function
+  | Data_race { first; second } ->
+    Format.fprintf ppf "data race between %a and %a" C11.Action.pp first C11.Action.pp second
+  | Uninitialized_load a -> Format.fprintf ppf "uninitialized load %a" C11.Action.pp a
+  | Deadlock { blocked_tids } ->
+    Format.fprintf ppf "deadlock/livelock: threads %a blocked"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Format.pp_print_int)
+      blocked_tids
+  | Assertion_failure { tid; message } -> Format.fprintf ppf "assertion failed in T%d: %s" tid message
+  | Spec_violation { kind; message } -> Format.fprintf ppf "specification violation (%s): %s" kind message

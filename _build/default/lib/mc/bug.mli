@@ -1,0 +1,18 @@
+(** Bug reports produced during exploration. The first three are the
+    model checker's built-in checks (what the paper's Figure 8 calls
+    "Built-in"); [Assertion_failure] backs the DSL's [check]; the
+    specification checker layers its own report kinds on top via
+    [Spec_violation]. *)
+
+type t =
+  | Data_race of { first : C11.Action.t; second : C11.Action.t }
+  | Uninitialized_load of C11.Action.t
+  | Deadlock of { blocked_tids : int list }
+  | Assertion_failure of { tid : int; message : string }
+  | Spec_violation of { kind : string; message : string }
+
+(** Stable one-line description, independent of action ids, used to
+    deduplicate reports across executions. *)
+val key : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+module Vec = C11.Vec
+
+type config = {
+  scheduler : Scheduler.config;
+  max_executions : int option;
+  progress : (int -> unit) option;
+}
+
+let default_config = { scheduler = Scheduler.default_config; max_executions = None; progress = None }
+
+type stats = {
+  explored : int;
+  feasible : int;
+  pruned_loop_bound : int;
+  pruned_max_actions : int;
+  pruned_sleep_set : int;
+  buggy : int;
+  truncated : bool;
+  time : float;
+}
+
+type result = {
+  stats : stats;
+  bugs : Bug.t list;
+  first_buggy_trace : string option;
+  first_buggy_exec : C11.Execution.t option;
+}
+
+(* Advance [trace] to the next unexplored branch: drop exhausted trailing
+   decisions and bump the deepest one with alternatives left. Returns
+   false when the whole tree has been explored. *)
+let backtrack (trace : Scheduler.decision Vec.t) =
+  let rec go () =
+    if Vec.is_empty trace then false
+    else begin
+      match Vec.last trace with
+      | Scheduler.Sched d when d.sched_chosen + 1 < Array.length d.candidates ->
+        d.sched_chosen <- d.sched_chosen + 1;
+        true
+      | Choice d when d.choice_chosen + 1 < d.num ->
+        d.choice_chosen <- d.choice_chosen + 1;
+        true
+      | Sched _ | Choice _ ->
+        ignore (Vec.pop trace);
+        go ()
+    end
+  in
+  go ()
+
+let explore ?(config = default_config) ?on_feasible main =
+  let t0 = Unix.gettimeofday () in
+  let trace : Scheduler.decision Vec.t = Vec.create () in
+  let explored = ref 0 in
+  let feasible = ref 0 in
+  let pruned_loop = ref 0 in
+  let pruned_max = ref 0 in
+  let pruned_sleep = ref 0 in
+  let buggy = ref 0 in
+  let truncated = ref false in
+  let seen_bugs : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let bugs = ref [] in
+  let first_buggy_trace = ref None in
+  let first_buggy_exec = ref None in
+  let record_bugs exec found =
+    if found <> [] then begin
+      incr buggy;
+      if !first_buggy_trace = None then begin
+        first_buggy_trace := Some (Fmt.str "%a" C11.Execution.pp exec);
+        first_buggy_exec := Some exec
+      end;
+      List.iter
+        (fun b ->
+          let key = Bug.key b in
+          if not (Hashtbl.mem seen_bugs key) then begin
+            Hashtbl.add seen_bugs key ();
+            bugs := b :: !bugs
+          end)
+        found
+    end
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    let r = Scheduler.run ~config:config.scheduler ~trace main in
+    incr explored;
+    (match config.progress with
+    | Some f when !explored mod 1024 = 0 -> f !explored
+    | _ -> ());
+    (match r.outcome with
+    | Scheduler.Complete ->
+      incr feasible;
+      let found =
+        match r.bugs, on_feasible with
+        | [], Some check -> check r.exec r.annots
+        | builtin, _ -> builtin
+      in
+      record_bugs r.exec found
+    | Pruned_loop_bound _ -> incr pruned_loop
+    | Pruned_max_actions -> incr pruned_max
+    | Pruned_sleep_set -> incr pruned_sleep);
+    (match config.max_executions with
+    | Some m when !explored >= m ->
+      truncated := true;
+      continue_ := false
+    | _ -> if not (backtrack trace) then continue_ := false)
+  done;
+  {
+    stats =
+      {
+        explored = !explored;
+        feasible = !feasible;
+        pruned_loop_bound = !pruned_loop;
+        pruned_max_actions = !pruned_max;
+        pruned_sleep_set = !pruned_sleep;
+        buggy = !buggy;
+        truncated = !truncated;
+        time = Unix.gettimeofday () -. t0;
+      };
+    bugs = List.rev !bugs;
+    first_buggy_trace = !first_buggy_trace;
+    first_buggy_exec = !first_buggy_exec;
+  }

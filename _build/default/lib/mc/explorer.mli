@@ -1,0 +1,41 @@
+(** Exhaustive stateless exploration: depth-first search over the choice
+    tree (scheduling choices × reads-from choices), replaying the program
+    from scratch for each execution, as CDSChecker does. *)
+
+type config = {
+  scheduler : Scheduler.config;
+  max_executions : int option;  (** stop after this many runs; None = exhaust *)
+  progress : (int -> unit) option;  (** called with the run count periodically *)
+}
+
+val default_config : config
+
+type stats = {
+  explored : int;  (** total runs, feasible + pruned *)
+  feasible : int;  (** complete, consistent executions *)
+  pruned_loop_bound : int;
+  pruned_max_actions : int;
+  pruned_sleep_set : int;
+  buggy : int;  (** feasible executions on which at least one bug fired *)
+  truncated : bool;  (** true when max_executions stopped the search *)
+  time : float;  (** wall-clock seconds *)
+}
+
+type result = {
+  stats : stats;
+  bugs : Bug.t list;  (** deduplicated by {!Bug.key}, discovery order *)
+  first_buggy_trace : string option;
+      (** pretty-printed action log of the first buggy execution *)
+  first_buggy_exec : C11.Execution.t option;
+      (** the graph itself, e.g. for {!C11.Dot} rendering *)
+}
+
+(** [explore ~config ?on_feasible main] enumerates the behaviours of
+    [main]. [on_feasible] runs on every complete bug-free execution (the
+    specification checker hooks in here) and returns any violations it
+    finds, which are recorded like built-in bugs. *)
+val explore :
+  ?config:config ->
+  ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  (unit -> unit) ->
+  result

@@ -1,0 +1,72 @@
+type loc = int
+
+type mo = C11.Memory_order.t
+
+type annotation =
+  | Method_begin of { name : string; args : int list; obj : int }
+  | Method_end of { ret : int option }
+  | Op_define
+  | Op_clear
+  | Op_clear_define
+  | Potential_op of string
+  | Op_check of string
+
+type op =
+  | Load of { mo : mo; loc : loc; site : string option }
+  | Store of { mo : mo; loc : loc; value : int; site : string option }
+  | Cas of { mo : mo; fail_mo : mo; loc : loc; expected : int; desired : int; site : string option }
+  | Fetch_add of { mo : mo; loc : loc; delta : int; site : string option }
+  | Exchange of { mo : mo; loc : loc; value : int; site : string option }
+  | Fence of { mo : mo }
+  | Na_load of { loc : loc; site : string option }
+  | Na_store of { loc : loc; value : int; site : string option }
+  | Alloc of { count : int; init : int option }
+  | Spawn of (unit -> unit)
+  | Join of int
+  | Annotate of annotation
+  | Check of { cond : bool; message : string }
+
+type _ Effect.t += Do : op -> int Effect.t
+
+let do_op op = Effect.perform (Do op)
+
+let load ?site mo loc = do_op (Load { mo; loc; site })
+
+let store ?site mo loc value = ignore (do_op (Store { mo; loc; value; site }))
+
+(* C11 requires the failure order of a CAS to be no stronger than the
+   success order and not a release order; this is the strongest legal
+   default. *)
+let default_fail_mo (mo : mo) : mo =
+  match mo with
+  | Relaxed | Release -> Relaxed
+  | Acquire | Acq_rel -> Acquire
+  | Seq_cst -> Seq_cst
+
+let cas_val ?site ?fail_mo mo loc ~expected ~desired =
+  let fail_mo = match fail_mo with Some f -> f | None -> default_fail_mo mo in
+  let observed = do_op (Cas { mo; fail_mo; loc; expected; desired; site }) in
+  (observed = expected, observed)
+
+let cas ?site ?fail_mo mo loc ~expected ~desired =
+  fst (cas_val ?site ?fail_mo mo loc ~expected ~desired)
+
+let fetch_add ?site mo loc delta = do_op (Fetch_add { mo; loc; delta; site })
+
+let exchange ?site mo loc value = do_op (Exchange { mo; loc; value; site })
+
+let fence mo = ignore (do_op (Fence { mo }))
+
+let na_load ?site loc = do_op (Na_load { loc; site })
+
+let na_store ?site loc value = ignore (do_op (Na_store { loc; value; site }))
+
+let malloc ?init count = do_op (Alloc { count; init })
+
+let spawn f = do_op (Spawn f)
+
+let join tid = ignore (do_op (Join tid))
+
+let check cond message = ignore (do_op (Check { cond; message }))
+
+let annotate a = ignore (do_op (Annotate a))

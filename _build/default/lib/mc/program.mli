@@ -1,0 +1,92 @@
+(** The embedded C11-atomics DSL that test programs are written in.
+
+    A program is an ordinary OCaml function; every call below performs an
+    effect that the scheduler intercepts, so threads only make progress
+    when the model checker schedules them. Values and locations are plain
+    [int]s ([0] doubles as the null pointer, matching the benchmarks'
+    C code). These functions must only be called from inside a program run
+    by {!Explorer.explore}; calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+type loc = int
+
+type mo = C11.Memory_order.t
+
+(** Specification-layer instrumentation markers, recorded verbatim in the
+    run's annotation stream (interpreted by the [cdsspec] library; the
+    model checker itself ignores them). *)
+type annotation =
+  | Method_begin of { name : string; args : int list; obj : int }
+      (** [obj] identifies the data-structure instance, so the checker can
+          check each object against its own specification (the paper's
+          composability, Definition 9) *)
+  | Method_end of { ret : int option }
+  | Op_define
+  | Op_clear
+  | Op_clear_define
+  | Potential_op of string
+  | Op_check of string
+
+(** The requests threads hand to the scheduler. Exposed so the scheduler
+    can interpret them; programs use the wrapper functions below. *)
+type op =
+  | Load of { mo : mo; loc : loc; site : string option }
+  | Store of { mo : mo; loc : loc; value : int; site : string option }
+  | Cas of { mo : mo; fail_mo : mo; loc : loc; expected : int; desired : int; site : string option }
+  | Fetch_add of { mo : mo; loc : loc; delta : int; site : string option }
+  | Exchange of { mo : mo; loc : loc; value : int; site : string option }
+  | Fence of { mo : mo }
+  | Na_load of { loc : loc; site : string option }
+  | Na_store of { loc : loc; value : int; site : string option }
+  | Alloc of { count : int; init : int option }
+  | Spawn of (unit -> unit)
+  | Join of int
+  | Annotate of annotation
+  | Check of { cond : bool; message : string }
+
+type _ Effect.t += Do : op -> int Effect.t
+
+(** {1 Atomic operations} *)
+
+val load : ?site:string -> mo -> loc -> int
+val store : ?site:string -> mo -> loc -> int -> unit
+
+(** [cas ?fail_mo mo loc ~expected ~desired] is
+    [compare_exchange_strong]: returns [true] iff the observed value
+    equalled [expected] and the write was performed. [fail_mo] defaults to
+    the strongest load order implied by [mo]. *)
+val cas : ?site:string -> ?fail_mo:mo -> mo -> loc -> expected:int -> desired:int -> bool
+
+(** Like {!cas} but also returns the observed value. *)
+val cas_val : ?site:string -> ?fail_mo:mo -> mo -> loc -> expected:int -> desired:int -> bool * int
+
+(** [fetch_add mo loc d] returns the previous value. *)
+val fetch_add : ?site:string -> mo -> loc -> int -> int
+
+(** [exchange mo loc v] returns the previous value. *)
+val exchange : ?site:string -> mo -> loc -> int -> int
+
+val fence : mo -> unit
+
+(** {1 Non-atomic accesses} *)
+
+val na_load : ?site:string -> loc -> int
+val na_store : ?site:string -> loc -> int -> unit
+
+(** {1 Memory and threads} *)
+
+(** [malloc ?init n] returns the base of [n] fresh cells. With [init]
+    they are initialized non-atomically (like calloc); without, loading
+    them before storing is an uninitialized load. *)
+val malloc : ?init:int -> int -> loc
+
+val spawn : (unit -> unit) -> int
+val join : int -> unit
+
+(** {1 Checks and instrumentation} *)
+
+(** [check cond msg] records an assertion-failure bug when [cond] is
+    false (the analogue of CDSChecker's MODEL_ASSERT). *)
+val check : bool -> string -> unit
+
+val annotate : annotation -> unit

@@ -1,0 +1,474 @@
+module Execution = C11.Execution
+module Vec = C11.Vec
+
+type sched_decision = { mutable sched_chosen : int; candidates : int array }
+type choice_decision = { mutable choice_chosen : int; num : int }
+
+type decision =
+  | Sched of sched_decision
+  | Choice of choice_decision
+
+let decision_arity = function
+  | Sched { candidates; _ } -> Array.length candidates
+  | Choice { num; _ } -> num
+
+let decision_chosen = function
+  | Sched { sched_chosen; _ } -> sched_chosen
+  | Choice { choice_chosen; _ } -> choice_chosen
+
+type annot = {
+  tid : int;
+  annotation : Program.annotation;
+  op_action : int option;
+  index : int;
+}
+
+type config = {
+  loop_bound : int;
+  max_actions : int;
+  sleep_sets : bool;
+}
+
+let default_config = { loop_bound = 8; max_actions = 4000; sleep_sets = true }
+
+type outcome =
+  | Complete
+  | Pruned_loop_bound of { tid : int; loc : int }
+  | Pruned_max_actions
+  | Pruned_sleep_set
+
+type run_result = {
+  exec : Execution.t;
+  annots : annot list;
+  bugs : Bug.t list;
+  outcome : outcome;
+}
+
+exception Prune of outcome
+
+type status =
+  | Not_started of (unit -> unit)
+  | Paused of Program.op * (int, unit) Effect.Deep.continuation
+  | Finished
+
+(* What a committed step touched, for sleep-set wake-ups. *)
+type footprint =
+  | Mem of { loc : int; write : bool }
+  | Global  (* fences: they read/extend the SC order *)
+  | Pure
+
+type state = {
+  config : config;
+  exec : Execution.t;
+  mutable threads : status array;
+  mutable nthreads : int;
+  trace : decision Vec.t;
+  mutable cursor : int;
+  annots : annot Vec.t;
+  mutable bugs : Bug.t list;  (* reverse commit order *)
+  mutable last_atomic : int option array;
+  op_counts : (string, int) Hashtbl.t;  (* per (tid, site|loc, kind) commit counts *)
+  mutable step_footprints : footprint list;  (* footprints of the current step *)
+}
+
+let get_status st tid = st.threads.(tid)
+
+let set_status st tid s = st.threads.(tid) <- s
+
+let add_thread st status =
+  let tid = st.nthreads in
+  if tid >= Array.length st.threads then begin
+    let threads = Array.make (2 * (tid + 1)) Finished in
+    Array.blit st.threads 0 threads 0 st.nthreads;
+    st.threads <- threads;
+    let last = Array.make (2 * (tid + 1)) None in
+    Array.blit st.last_atomic 0 last 0 st.nthreads;
+    st.last_atomic <- last
+  end;
+  st.threads.(tid) <- status;
+  st.nthreads <- tid + 1;
+  tid
+
+let record_problems st problems =
+  List.iter
+    (fun p ->
+      let bug =
+        match p with
+        | Execution.Data_race { first; second } -> Bug.Data_race { first; second }
+        | Execution.Uninitialized_load a -> Bug.Uninitialized_load a
+      in
+      st.bugs <- bug :: st.bugs)
+    problems
+
+(* Decision points: consume the replayed prefix, then extend with the
+   default choice. Trivial (single-alternative) points are not recorded. *)
+let choose st num =
+  if num <= 1 then 0
+  else if st.cursor < Vec.length st.trace then begin
+    match Vec.get st.trace st.cursor with
+    | Choice d ->
+      (* replay must be deterministic: same prefix, same alternatives *)
+      assert (d.num = num);
+      st.cursor <- st.cursor + 1;
+      d.choice_chosen
+    | Sched _ -> assert false
+  end
+  else begin
+    Vec.push st.trace (Choice { choice_chosen = 0; num });
+    st.cursor <- st.cursor + 1;
+    0
+  end
+
+(* Scheduling decision over candidate tids; returns (chosen tid, sleep
+   contribution of already-explored siblings). *)
+let choose_sched st candidates =
+  if Array.length candidates = 1 then (candidates.(0), [])
+  else begin
+    let d =
+      if st.cursor < Vec.length st.trace then begin
+        match Vec.get st.trace st.cursor with
+        | Sched d ->
+          assert (Array.length d.candidates = Array.length candidates);
+          d
+        | Choice _ -> assert false
+      end
+      else begin
+        let d = { sched_chosen = 0; candidates } in
+        Vec.push st.trace (Sched d);
+        d
+      end
+    in
+    st.cursor <- st.cursor + 1;
+    let slept = Array.to_list (Array.sub d.candidates 0 d.sched_chosen) in
+    (d.candidates.(d.sched_chosen), slept)
+  end
+
+let kind_tag : Program.op -> int = function
+  | Load _ -> 0
+  | Store _ -> 1
+  | Cas _ -> 2
+  | Fetch_add _ -> 3
+  | Exchange _ -> 4
+  | Fence _ -> 5
+  | _ -> 6
+
+(* Bound commits per static operation: keyed by the site label when the
+   program supplies one (one counter per source-level operation), falling
+   back to (location, op-kind). This is what makes spin loops finite. *)
+let op_site : Program.op -> string option = function
+  | Load { site; _ }
+  | Store { site; _ }
+  | Cas { site; _ }
+  | Fetch_add { site; _ }
+  | Exchange { site; _ }
+  | Na_load { site; _ }
+  | Na_store { site; _ } ->
+    site
+  | Fence _ | Alloc _ | Spawn _ | Join _ | Annotate _ | Check _ -> None
+
+let bump_op_count st tid loc op =
+  let key =
+    match op_site op with
+    | Some site -> Printf.sprintf "%d/%s/%d" tid site (kind_tag op)
+    | None -> Printf.sprintf "%d@%d/%d" tid loc (kind_tag op)
+  in
+  let n = (match Hashtbl.find_opt st.op_counts key with Some n -> n | None -> 0) + 1 in
+  Hashtbl.replace st.op_counts key n;
+  if n > st.config.loop_bound then raise (Prune (Pruned_loop_bound { tid; loc }));
+  if Execution.num_actions st.exec > st.config.max_actions then raise (Prune Pruned_max_actions)
+
+let note_atomic st tid (a : C11.Action.t) = st.last_atomic.(tid) <- Some a.id
+
+let add_footprint st f = st.step_footprints <- f :: st.step_footprints
+
+(* The footprint a *pending* operation will have, for wake-up tests.
+   CAS counts as a write (it may become one). *)
+let op_footprint : Program.op -> footprint = function
+  | Load { loc; _ } | Na_load { loc; _ } -> Mem { loc; write = false }
+  | Store { loc; _ } | Cas { loc; _ } | Fetch_add { loc; _ } | Exchange { loc; _ } | Na_store { loc; _ }
+    ->
+    Mem { loc; write = true }
+  | Fence _ -> Global
+  | Alloc _ | Spawn _ | Join _ | Annotate _ | Check _ -> Pure
+
+(* Same-location operations are dependent when at least one writes: two
+   writes because modification order is the commit order, and read/write
+   pairs because committing the write first enables a new reads-from
+   option for the read — a sleeping reader MUST be woken by a write or
+   the execution in which it reads the new value is lost. Only read/read
+   pairs commute. *)
+let dependent f1 f2 =
+  match f1, f2 with
+  | Pure, _ | _, Pure -> false
+  | Global, _ | _, Global -> true
+  | Mem a, Mem b -> a.loc = b.loc && (a.write || b.write)
+
+(* Execute a visible operation for [tid] and return the value to resume
+   the thread with. *)
+let exec_visible st tid (op : Program.op) =
+  add_footprint st (op_footprint op);
+  (match op with
+  | Load { loc; _ } | Store { loc; _ } | Cas { loc; _ } | Fetch_add { loc; _ } | Exchange { loc; _ } ->
+    bump_op_count st tid loc op
+  (* fences are not bounded: a loop always contains a bounded load/RMW,
+     and straight-line code may legitimately fence often *)
+  | Fence _ | Join _ | Na_load _ | Na_store _ | Alloc _ | Spawn _ | Annotate _ | Check _ -> ());
+  match op with
+  | Program.Load { mo; loc; site } ->
+    let candidates = Execution.read_candidates st.exec ~tid ~mo ~loc in
+    let rf =
+      match candidates with
+      | [] -> None
+      | l -> Some (List.nth l (choose st (List.length l)))
+    in
+    let a, problems = Execution.commit_load st.exec ~tid ~mo ~loc ~rf ?site () in
+    record_problems st problems;
+    note_atomic st tid a;
+    (match a.read_value with Some v -> v | None -> 0)
+  | Store { mo; loc; value; site } ->
+    let a, problems = Execution.commit_store st.exec ~tid ~mo ~loc ~value ?site () in
+    record_problems st problems;
+    note_atomic st tid a;
+    0
+  | Cas { mo; fail_mo; loc; expected; desired; site } ->
+    let candidates = Execution.read_candidates st.exec ~tid ~mo:fail_mo ~loc in
+    (match candidates with
+    | [] ->
+      (* CAS on an uninitialized location: like an uninitialized load *)
+      let a, problems = Execution.commit_load st.exec ~tid ~mo:fail_mo ~loc ~rf:None ?site () in
+      record_problems st problems;
+      note_atomic st tid a;
+      0
+    | newest :: _ ->
+      let can_succeed = newest.C11.Action.written_value = Some expected in
+      let fail_candidates =
+        List.filter (fun (w : C11.Action.t) -> w.written_value <> Some expected) candidates
+      in
+      let options =
+        (if can_succeed then [ `Success ] else []) @ List.map (fun w -> `Fail w) fail_candidates
+      in
+      let option = List.nth options (choose st (List.length options)) in
+      (match option with
+      | `Success ->
+        let a, problems = Execution.commit_rmw st.exec ~tid ~mo ~loc ~value:desired ?site () in
+        record_problems st problems;
+        note_atomic st tid a;
+        (match a.read_value with Some v -> v | None -> 0)
+      | `Fail w ->
+        let a, problems = Execution.commit_load st.exec ~tid ~mo:fail_mo ~loc ~rf:(Some w) ?site () in
+        record_problems st problems;
+        note_atomic st tid a;
+        (match a.read_value with Some v -> v | None -> 0)))
+  | Fetch_add { mo; loc; delta; site } ->
+    (match Execution.rmw_candidate st.exec ~loc with
+    | None ->
+      let a, problems = Execution.commit_load st.exec ~tid ~mo ~loc ~rf:None ?site () in
+      record_problems st problems;
+      note_atomic st tid a;
+      0
+    | Some newest ->
+      let old = match newest.written_value with Some v -> v | None -> 0 in
+      let a, problems = Execution.commit_rmw st.exec ~tid ~mo ~loc ~value:(old + delta) ?site () in
+      record_problems st problems;
+      note_atomic st tid a;
+      old)
+  | Exchange { mo; loc; value; site } ->
+    (match Execution.rmw_candidate st.exec ~loc with
+    | None ->
+      let a, problems = Execution.commit_load st.exec ~tid ~mo ~loc ~rf:None ?site () in
+      record_problems st problems;
+      note_atomic st tid a;
+      let a', problems' = Execution.commit_store st.exec ~tid ~mo ~loc ~value ?site () in
+      record_problems st problems';
+      note_atomic st tid a';
+      0
+    | Some newest ->
+      let old = match newest.written_value with Some v -> v | None -> 0 in
+      let a, problems = Execution.commit_rmw st.exec ~tid ~mo ~loc ~value ?site () in
+      record_problems st problems;
+      note_atomic st tid a;
+      old)
+  | Fence { mo } ->
+    let a = Execution.commit_fence st.exec ~tid ~mo in
+    note_atomic st tid a;
+    0
+  | Join target ->
+    ignore (Execution.commit_join st.exec ~tid ~target);
+    0
+  | Na_load _ | Na_store _ | Alloc _ | Spawn _ | Annotate _ | Check _ ->
+    invalid_arg "exec_visible: invisible op"
+
+(* Invisible operations commit immediately when the thread reaches them:
+   they cannot observe other threads' scheduling (see DESIGN.md), so they
+   are not decision points — but their memory footprints still count for
+   sleep-set wake-ups. *)
+let exec_invisible st tid (op : Program.op) =
+  if Execution.num_actions st.exec > st.config.max_actions then raise (Prune Pruned_max_actions);
+  add_footprint st (op_footprint op);
+  match op with
+  | Program.Na_load { loc; site } ->
+    let a, problems = Execution.commit_na_load st.exec ~tid ~loc ?site () in
+    record_problems st problems;
+    (match a.read_value with Some v -> v | None -> 0)
+  | Na_store { loc; value; site } ->
+    let _, problems = Execution.commit_na_store st.exec ~tid ~loc ~value ?site () in
+    record_problems st problems;
+    0
+  | Alloc { count; init } -> Execution.alloc st.exec ~tid ~count ~init
+  | Spawn f ->
+    let child = add_thread st (Not_started f) in
+    ignore (Execution.commit_create st.exec ~tid ~child);
+    child
+  | Annotate annotation ->
+    Vec.push st.annots
+      {
+        tid;
+        annotation;
+        op_action = st.last_atomic.(tid);
+        index = Execution.num_actions st.exec;
+      };
+    0
+  | Check { cond; message } ->
+    if not cond then st.bugs <- Bug.Assertion_failure { tid; message } :: st.bugs;
+    0
+  | Load _ | Store _ | Cas _ | Fetch_add _ | Exchange _ | Fence _ | Join _ ->
+    invalid_arg "exec_invisible: visible op"
+
+let is_invisible : Program.op -> bool = function
+  | Program.Na_load _ | Na_store _ | Alloc _ | Spawn _ | Annotate _ | Check _ -> true
+  | Load _ | Store _ | Cas _ | Fetch_add _ | Exchange _ | Fence _ | Join _ -> false
+
+let handler st tid =
+  {
+    Effect.Deep.retc =
+      (fun () ->
+        ignore (Execution.commit_finish st.exec ~tid);
+        set_status st tid Finished);
+    exnc =
+      (fun e ->
+        (match e with
+        | Prune _ -> raise e
+        | _ ->
+          st.bugs <-
+            Bug.Assertion_failure { tid; message = "uncaught exception: " ^ Printexc.to_string e }
+            :: st.bugs;
+          ignore (Execution.commit_finish st.exec ~tid);
+          set_status st tid Finished));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Program.Do op ->
+          Some (fun (k : (a, unit) Effect.Deep.continuation) -> set_status st tid (Paused (op, k)))
+        | _ -> None);
+  }
+
+(* Run thread [tid] until it pauses at a visible operation or finishes,
+   committing any invisible operations it passes through. *)
+let rec drain st tid =
+  match get_status st tid with
+  | Paused (op, k) when is_invisible op ->
+    let v = exec_invisible st tid op in
+    Effect.Deep.continue k v;
+    drain st tid
+  | Not_started _ | Paused _ | Finished -> ()
+
+let start_thread st tid f =
+  ignore (Execution.commit_start st.exec ~tid);
+  Effect.Deep.match_with f () (handler st tid);
+  drain st tid
+
+(* One scheduling step: start the thread or commit its pending visible
+   operation, then run it to its next visible operation. Returns the
+   footprints of everything it committed. *)
+let step st tid =
+  st.step_footprints <- [];
+  (match get_status st tid with
+  | Not_started f -> start_thread st tid f
+  | Paused (op, k) ->
+    let v = exec_visible st tid op in
+    Effect.Deep.continue k v;
+    drain st tid
+  | Finished -> invalid_arg "step: finished thread");
+  st.step_footprints
+
+let is_enabled st tid =
+  match get_status st tid with
+  | Not_started _ -> true
+  | Finished -> false
+  | Paused (Program.Join target, _) ->
+    target < st.nthreads && (match get_status st target with Finished -> true | _ -> false)
+  | Paused _ -> true
+
+let enabled_threads st =
+  let out = ref [] in
+  for tid = st.nthreads - 1 downto 0 do
+    if is_enabled st tid then out := tid :: !out
+  done;
+  !out
+
+let all_finished st =
+  let ok = ref true in
+  for tid = 0 to st.nthreads - 1 do
+    match get_status st tid with Finished -> () | _ -> ok := false
+  done;
+  !ok
+
+(* A sleeping thread stays asleep while every footprint of the committed
+   step is independent of its pending operation. Threads without a known
+   pending operation (not yet started) are conservatively woken. *)
+let keep_asleep st footprints tid =
+  match get_status st tid with
+  | Paused (op, _) ->
+    let f = op_footprint op in
+    List.for_all (fun g -> not (dependent g f)) footprints
+  | Not_started _ | Finished -> false
+
+let run ~config ~trace main =
+  let st =
+    {
+      config;
+      exec = Execution.create ();
+      threads = Array.make 4 Finished;
+      nthreads = 0;
+      trace;
+      cursor = 0;
+      annots = Vec.create ();
+      bugs = [];
+      last_atomic = Array.make 4 None;
+      op_counts = Hashtbl.create 64;
+      step_footprints = [];
+    }
+  in
+  ignore (add_thread st (Not_started main));
+  let outcome =
+    try
+      let rec loop sleep =
+        if all_finished st then Complete
+        else
+          match enabled_threads st with
+          | [] ->
+            let blocked = ref [] in
+            for tid = st.nthreads - 1 downto 0 do
+              match get_status st tid with Finished -> () | _ -> blocked := tid :: !blocked
+            done;
+            st.bugs <- Bug.Deadlock { blocked_tids = !blocked } :: st.bugs;
+            Complete
+          | enabled ->
+            let avail = List.filter (fun t -> not (List.mem t sleep)) enabled in
+            if avail = [] then raise (Prune Pruned_sleep_set)
+            else begin
+              let tid, slept_siblings = choose_sched st (Array.of_list avail) in
+              let footprints = step st tid in
+              let sleep =
+                if not config.sleep_sets then []
+                else
+                  List.filter (keep_asleep st footprints)
+                    (List.sort_uniq compare (slept_siblings @ sleep))
+              in
+              loop sleep
+            end
+      in
+      loop []
+    with Prune reason -> reason
+  in
+  { exec = st.exec; annots = Vec.to_list st.annots; bugs = List.rev st.bugs; outcome }

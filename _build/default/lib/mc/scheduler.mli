@@ -1,0 +1,64 @@
+(** Runs a single execution of a DSL program under a recorded choice
+    trace, extending the trace with default choices at new decision
+    points. The explorer replays/backtracks over these traces.
+
+    Scheduling decisions optionally carry sleep-set partial-order
+    reduction: a thread explored at a decision node is put to sleep for
+    the node's later siblings and only woken by a dependent operation, so
+    interleavings that commute to an already-explored one are pruned.
+    Two operations are dependent when they touch the same location and at
+    least one writes (committing a write enables new reads-from options
+    for a pending read, so it must wake sleeping readers), or when either
+    is a fence (fences read global state — the SC order). *)
+
+(** One decision point. [Sched] carries the schedulable (enabled and not
+    sleeping) thread ids at that point; [Choice] is a reads-from or CAS
+    branch. The explorer mutates [chosen] when backtracking; explored
+    siblings of a [Sched] node ([candidates.(0 .. chosen-1)]) are its
+    sleep-set contribution. *)
+type sched_decision = { mutable sched_chosen : int; candidates : int array }
+type choice_decision = { mutable choice_chosen : int; num : int }
+
+type decision =
+  | Sched of sched_decision
+  | Choice of choice_decision
+
+val decision_arity : decision -> int
+val decision_chosen : decision -> int
+
+(** An instrumentation marker recorded during the run, tagged with the id
+    of the thread's most recent atomic operation (the operation an
+    ordering-point annotation designates) and the number of actions
+    committed when it was recorded. *)
+type annot = {
+  tid : int;
+  annotation : Program.annotation;
+  op_action : int option;
+  index : int;
+}
+
+type config = {
+  loop_bound : int;
+      (** Max commits of one operation kind per (thread, location): bounds
+          spin loops; branches exceeding it are pruned as redundant. *)
+  max_actions : int;  (** Backstop on total committed actions per run. *)
+  sleep_sets : bool;  (** Enable sleep-set partial-order reduction. *)
+}
+
+val default_config : config
+
+type outcome =
+  | Complete  (** all threads finished (possibly with bugs reported) *)
+  | Pruned_loop_bound of { tid : int; loc : int }
+  | Pruned_max_actions
+  | Pruned_sleep_set  (** redundant interleaving cut by the sleep set *)
+
+type run_result = {
+  exec : C11.Execution.t;
+  annots : annot list;  (** in recording order *)
+  bugs : Bug.t list;  (** built-in detections, in commit order *)
+  outcome : outcome;
+}
+
+(** [run ~config ~trace main] executes [main] as thread 0. *)
+val run : config:config -> trace:decision C11.Vec.t -> (unit -> unit) -> run_result

@@ -1,0 +1,1 @@
+lib/structures/atomic_register.ml: Benchmark C11 Cdsspec List Mc Ords

@@ -1,0 +1,1 @@
+lib/structures/atomic_register.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/barrier.ml: Benchmark C11 Cdsspec Mc Ords

@@ -1,0 +1,1 @@
+lib/structures/barrier.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/benchmark.ml: Cdsspec List Mc Ords

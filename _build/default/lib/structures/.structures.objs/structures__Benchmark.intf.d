@@ -1,0 +1,1 @@
+lib/structures/benchmark.mli: Cdsspec Mc Ords

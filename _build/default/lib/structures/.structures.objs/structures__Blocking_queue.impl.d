@@ -1,0 +1,1 @@
+lib/structures/blocking_queue.ml: Benchmark C11 Cdsspec Mc Ords

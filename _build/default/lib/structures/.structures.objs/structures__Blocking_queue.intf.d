@@ -1,0 +1,1 @@
+lib/structures/blocking_queue.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/chase_lev_deque.ml: Benchmark C11 Cdsspec List Mc Ords

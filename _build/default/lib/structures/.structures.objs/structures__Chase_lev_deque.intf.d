@@ -1,0 +1,1 @@
+lib/structures/chase_lev_deque.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/clh_lock.ml: Benchmark C11 Cdsspec Mc Ords Ticket_lock

@@ -1,0 +1,1 @@
+lib/structures/clh_lock.mli: Benchmark Cdsspec Ords

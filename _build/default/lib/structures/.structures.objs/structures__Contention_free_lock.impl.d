@@ -1,0 +1,1 @@
+lib/structures/contention_free_lock.ml: Benchmark C11 Cdsspec Mc Ords Ticket_lock

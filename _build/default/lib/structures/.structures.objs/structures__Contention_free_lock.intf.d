@@ -1,0 +1,1 @@
+lib/structures/contention_free_lock.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/dekker_lock.mli: Benchmark Cdsspec Ords

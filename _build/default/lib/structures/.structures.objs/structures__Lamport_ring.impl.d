@@ -1,0 +1,1 @@
+lib/structures/lamport_ring.ml: Benchmark C11 Cdsspec Mc Ords

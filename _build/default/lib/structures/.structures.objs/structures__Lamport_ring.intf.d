@@ -1,0 +1,1 @@
+lib/structures/lamport_ring.mli: Benchmark Cdsspec Ords

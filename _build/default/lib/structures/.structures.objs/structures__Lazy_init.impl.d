@@ -1,0 +1,1 @@
+lib/structures/lazy_init.ml: Benchmark C11 Cdsspec Mc Ords

@@ -1,0 +1,1 @@
+lib/structures/lazy_init.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/linux_rwlock.ml: Benchmark C11 Cdsspec List Mc Ords

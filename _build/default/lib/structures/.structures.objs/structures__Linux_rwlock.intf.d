@@ -1,0 +1,1 @@
+lib/structures/linux_rwlock.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/lockfree_hashtable.ml: Benchmark C11 Cdsspec Mc Ords

@@ -1,0 +1,1 @@
+lib/structures/lockfree_hashtable.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/lockfree_set.ml: Benchmark C11 Cdsspec List Mc Ords

@@ -1,0 +1,1 @@
+lib/structures/lockfree_set.mli: Benchmark Cdsspec Ords

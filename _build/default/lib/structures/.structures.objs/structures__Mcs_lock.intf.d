@@ -1,0 +1,1 @@
+lib/structures/mcs_lock.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/mpmc_queue.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/ms_queue.ml: Benchmark C11 Cdsspec List Mc Ords

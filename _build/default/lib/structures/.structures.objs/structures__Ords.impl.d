@@ -1,0 +1,1 @@
+lib/structures/ords.ml: C11 Hashtbl List

@@ -1,0 +1,1 @@
+lib/structures/ords.mli: C11

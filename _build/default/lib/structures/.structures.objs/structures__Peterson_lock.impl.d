@@ -1,0 +1,1 @@
+lib/structures/peterson_lock.ml: Benchmark C11 Cdsspec Mc Ords Ticket_lock

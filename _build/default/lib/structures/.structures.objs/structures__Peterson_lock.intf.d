@@ -1,0 +1,1 @@
+lib/structures/peterson_lock.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/rcu.ml: Benchmark C11 Cdsspec List Mc Ords

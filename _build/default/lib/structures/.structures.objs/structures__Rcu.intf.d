@@ -1,0 +1,1 @@
+lib/structures/rcu.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/rcu_grace.ml: Benchmark C11 Cdsspec List Mc Ords

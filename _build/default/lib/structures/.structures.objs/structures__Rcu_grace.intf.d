@@ -1,0 +1,1 @@
+lib/structures/rcu_grace.mli: Benchmark Cdsspec Ords

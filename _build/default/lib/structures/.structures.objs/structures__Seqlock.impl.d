@@ -1,0 +1,1 @@
+lib/structures/seqlock.ml: Benchmark C11 Cdsspec Mc Ords

@@ -1,0 +1,1 @@
+lib/structures/seqlock.mli: Benchmark Cdsspec Ords

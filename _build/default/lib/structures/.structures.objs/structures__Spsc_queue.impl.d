@@ -1,0 +1,1 @@
+lib/structures/spsc_queue.ml: Benchmark C11 Cdsspec Mc Ords

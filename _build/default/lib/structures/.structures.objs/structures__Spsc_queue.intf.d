@@ -1,0 +1,1 @@
+lib/structures/spsc_queue.mli: Benchmark Cdsspec Ords

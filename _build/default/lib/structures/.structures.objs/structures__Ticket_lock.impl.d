@@ -1,0 +1,1 @@
+lib/structures/ticket_lock.ml: Benchmark C11 Cdsspec List Mc Ords

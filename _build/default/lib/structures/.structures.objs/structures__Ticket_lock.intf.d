@@ -1,0 +1,1 @@
+lib/structures/ticket_lock.mli: Benchmark Cdsspec Ords

@@ -1,0 +1,1 @@
+lib/structures/treiber_stack.ml: Benchmark C11 Cdsspec Mc Ords

@@ -1,0 +1,98 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+open C11.Memory_order
+
+type t = { cell : P.loc }
+
+let sites =
+  [ Ords.site "reg_store" For_store Relaxed; Ords.site "reg_load" For_load Relaxed ]
+
+let create () =
+  let cell = P.malloc 1 in
+  P.store Relaxed cell 0;
+  { cell }
+
+let write ords t v =
+  A.api_proc ~obj:t.cell ~name:"write" ~args:[ v ] (fun () ->
+      P.store ~site:"reg_store" (Ords.get ords "reg_store") t.cell v;
+      A.op_define ())
+
+let read ords t =
+  A.api_fun ~obj:t.cell ~name:"read" ~args:[] (fun () ->
+      let v = P.load ~site:"reg_load" (Ords.get ords "reg_load") t.cell in
+      A.op_define ();
+      v)
+
+let spec =
+  let write_spec =
+    {
+      Spec.default_method with
+      side_effect = Some (fun _st (info : Spec.info) -> (Cdsspec.Call.arg info.call 0, None));
+    }
+  in
+  let read_spec =
+    {
+      Spec.default_method with
+      side_effect = Some (fun st _ -> (st, Some st));
+      postcondition = Some (fun _st _info ~s_ret:_ -> true);
+      (* Definition 4's two cases, verbatim: justified by the most recent
+         write of some justifying prefix, or by a concurrent write. *)
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or min_int info.call in
+            Some c_ret = s_ret
+            || List.exists
+                 (fun (c : Cdsspec.Call.t) -> c.name = "write" && Cdsspec.Call.arg c 0 = c_ret)
+                 info.concurrent);
+    }
+  in
+  Spec.Packed
+    {
+      name = "atomic-register";
+      initial = (fun () -> 0);
+      methods = [ ("write", write_spec); ("read", read_spec) ];
+      admissibility = [];
+      accounting =
+        { spec_lines = 6; ordering_point_lines = 2; admissibility_lines = 0; api_methods = 2 };
+    }
+
+let test_concurrent_write_read ords () =
+  let r = create () in
+  let t1 = P.spawn (fun () -> write ords r 1) in
+  let t2 = P.spawn (fun () -> ignore (read ords r)) in
+  P.join t1;
+  P.join t2
+
+let test_write_then_read ords () =
+  let r = create () in
+  let t1 =
+    P.spawn (fun () ->
+        write ords r 1;
+        ignore (read ords r))
+  in
+  let t2 = P.spawn (fun () -> write ords r 2) in
+  P.join t1;
+  P.join t2
+
+let test_two_writers ords () =
+  let r = create () in
+  let t1 = P.spawn (fun () -> write ords r 1) in
+  let t2 = P.spawn (fun () -> write ords r 2) in
+  let t3 =
+    P.spawn (fun () ->
+        ignore (read ords r);
+        ignore (read ords r))
+  in
+  P.join t1;
+  P.join t2;
+  P.join t3
+
+let benchmark =
+  Benchmark.make ~name:"Atomic Register" ~spec ~sites
+    [
+      ("concurrent-write-read", test_concurrent_write_read);
+      ("write-then-read", test_write_then_read);
+      ("two-writers", test_two_writers);
+    ]

@@ -1,0 +1,15 @@
+(** The C/C++11 atomic register accessed with relaxed operations —
+    the paper's section 2.2 example. Its specification is the canonical
+    use of constrained non-determinism: a read may return the most recent
+    write of one of its justifying prefixes, or the value of a concurrent
+    write, and nothing else. *)
+
+type t
+
+val create : unit -> t
+val write : Ords.t -> t -> int -> unit
+val read : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,19 @@
+(** A single-phase centralized barrier: arrivals count down with an
+    acq_rel fetch-sub, the last arrival releases the sense flag, earlier
+    arrivals spin-acquire it. Everything sequenced before any [await]
+    happens before everything sequenced after any other [await].
+
+    [await] returns the arrival position (the first arriver gets [n],
+    the last gets 1) — deterministic relative to the ordering relation
+    because the fetch-subs form a release/acquire chain. *)
+
+type t
+
+(** [create n] — a barrier for [n] participants (single use). *)
+val create : int -> t
+
+val await : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,21 @@
+type test = {
+  test_name : string;
+  program : Ords.t -> unit -> unit;
+}
+
+type t = {
+  name : string;
+  spec : Cdsspec.Spec.packed;
+  sites : Ords.site list;
+  tests : test list;
+  scheduler : Mc.Scheduler.config;
+}
+
+let make ?(scheduler = Mc.Scheduler.default_config) ~name ~spec ~sites tests =
+  {
+    name;
+    spec;
+    sites;
+    tests = List.map (fun (test_name, program) -> { test_name; program }) tests;
+    scheduler;
+  }

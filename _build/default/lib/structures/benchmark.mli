@@ -1,0 +1,27 @@
+(** The uniform shape of a benchmark: an implementation parameterized by
+    a memory-order table, a CDSSpec specification, and the unit tests the
+    experiments model-check (paper section 6: at most 3 threads, a
+    handful of API calls each). *)
+
+type test = {
+  test_name : string;
+  program : Ords.t -> unit -> unit;
+      (** the unit test's main function, instrumented with the spec *)
+}
+
+type t = {
+  name : string;  (** row label, matching the paper's Figure 7/8 *)
+  spec : Cdsspec.Spec.packed;
+  sites : Ords.site list;  (** injectable atomic-operation sites *)
+  tests : test list;
+  scheduler : Mc.Scheduler.config;  (** per-benchmark exploration bounds *)
+}
+
+(** Convenience: build with the default scheduler configuration. *)
+val make :
+  ?scheduler:Mc.Scheduler.config ->
+  name:string ->
+  spec:Cdsspec.Spec.packed ->
+  sites:Ords.site list ->
+  (string * (Ords.t -> unit -> unit)) list ->
+  t

@@ -1,0 +1,19 @@
+(** The simple blocking queue of the paper's Figure 2 — the running
+    example — with the non-deterministic specification of Figure 6:
+    [deq] may spuriously return empty (-1), justified by a justifying
+    subhistory on which the sequential queue is also empty. *)
+
+type t
+
+(** Allocate the queue (one dummy node; [tail = head = dummy]). *)
+val create : unit -> t
+
+val enq : Ords.t -> t -> int -> unit
+
+(** [deq] returns the dequeued value or -1 when (it believes) the queue
+    is empty. *)
+val deq : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

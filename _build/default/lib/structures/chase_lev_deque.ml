@@ -1,0 +1,286 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Il = Cdsspec.Seq_state.Int_list
+open C11.Memory_order
+
+(* Array block layout: [size; cell_0 .. cell_{size-1}]; all cells are
+   (relaxed) atomics, as in the C11 original. Deque: top, bottom, array
+   pointer. *)
+type t = { top : P.loc; bottom : P.loc; array : P.loc; init_resize : bool }
+
+let a_size arr = arr
+
+(* [size] may be garbage when read through an unsynchronized array
+   pointer (the known bug); clamp so the access stays in-model — the
+   uninitialized load has already been reported by then. *)
+let a_cell arr size i = arr + 1 + (i mod max 1 size)
+
+let sites =
+  [
+    Ords.site "push_load_bottom" For_load Relaxed;
+    Ords.site "push_load_top" For_load Acquire;
+    Ords.site "push_load_array" For_load Relaxed;
+    Ords.site "push_store_buffer" For_store Relaxed;
+    Ords.site "push_fence" For_fence Release;
+    Ords.site "push_store_bottom" For_store Relaxed;
+    Ords.site "take_load_bottom" For_load Relaxed;
+    Ords.site "take_load_array" For_load Relaxed;
+    Ords.site "take_store_bottom" For_store Relaxed;
+    Ords.site "take_fence" For_fence Seq_cst;
+    Ords.site "take_load_top" For_load Relaxed;
+    Ords.site "take_cas_top" For_rmw Seq_cst;
+    Ords.site "take_restore_bottom" For_store Relaxed;
+    Ords.site "steal_load_top" For_load Acquire;
+    Ords.site "steal_fence" For_fence Seq_cst;
+    Ords.site "steal_load_bottom" For_load Acquire;
+    Ords.site "steal_load_array" For_load Acquire;  (* consume in the original *)
+    Ords.site "steal_load_buffer" For_load Relaxed;
+    Ords.site "steal_cas_top" For_rmw Seq_cst;
+    Ords.site "resize_store_array" For_store Release;  (* the bug fix *)
+  ]
+
+let known_buggy_ords = Ords.with_order sites "resize_store_array" Relaxed
+
+let new_array ?init size =
+  let arr = P.malloc ?init (1 + size) in
+  (match init with
+  | Some _ -> ()
+  | None ->
+    (* the size header is always initialized; only cells may be raw *)
+    ());
+  P.store Relaxed (a_size arr) size;
+  arr
+
+let create ~capacity ~init_resize () =
+  let arr = new_array ~init:0 capacity in
+  let top = P.malloc 1 in
+  let bottom = P.malloc 1 in
+  let array = P.malloc 1 in
+  P.store Relaxed top 0;
+  P.store Relaxed bottom 0;
+  P.store Relaxed array arr;
+  { top; bottom; array; init_resize }
+
+let o = Ords.get
+
+(* Grow the buffer: copy the live range [top, bottom) into a buffer of
+   twice the size and publish it. *)
+let resize ords q ~bottom:b ~top:t ~old_arr =
+  let old_size = P.load ~site:"resize_load_size" Relaxed (a_size old_arr) in
+  let size = 2 * old_size in
+  let arr = new_array ?init:(if q.init_resize then Some 0 else None) size in
+  let rec copy i =
+    if i < b then begin
+      let v = P.load ~site:"resize_load_cell" Relaxed (a_cell old_arr old_size i) in
+      P.store ~site:"resize_store_cell" Relaxed (a_cell arr size i) v;
+      copy (i + 1)
+    end
+  in
+  copy t;
+  P.store ~site:"resize_store_array" (o ords "resize_store_array") q.array arr;
+  arr
+
+let push ords q value =
+  A.api_proc ~obj:q.top ~name:"push" ~args:[ value ] (fun () ->
+      let b = P.load ~site:"push_load_bottom" (o ords "push_load_bottom") q.bottom in
+      let t = P.load ~site:"push_load_top" (o ords "push_load_top") q.top in
+      let arr = P.load ~site:"push_load_array" (o ords "push_load_array") q.array in
+      let size = P.load ~site:"push_load_size" Relaxed (a_size arr) in
+      let arr = if b - t > size - 1 then resize ords q ~bottom:b ~top:t ~old_arr:arr else arr in
+      let size = P.load ~site:"push_load_size2" Relaxed (a_size arr) in
+      P.store ~site:"push_store_buffer" (o ords "push_store_buffer") (a_cell arr size b) value;
+      A.op_define ();
+      P.fence (o ords "push_fence");
+      P.store ~site:"push_store_bottom" (o ords "push_store_bottom") q.bottom (b + 1))
+
+let take ords q =
+  A.api_fun ~obj:q.top ~name:"take" ~args:[] (fun () ->
+      let b = P.load ~site:"take_load_bottom" (o ords "take_load_bottom") q.bottom - 1 in
+      let arr = P.load ~site:"take_load_array" (o ords "take_load_array") q.array in
+      P.store ~site:"take_store_bottom" (o ords "take_store_bottom") q.bottom b;
+      P.fence (o ords "take_fence");
+      let t = P.load ~site:"take_load_top" (o ords "take_load_top") q.top in
+      if t <= b then begin
+        let size = P.load ~site:"take_load_size" Relaxed (a_size arr) in
+        let x = P.load ~site:"take_load_buffer" Relaxed (a_cell arr size b) in
+        if t = b then begin
+          (* last element: race the thieves for it *)
+          let won =
+            P.cas ~site:"take_cas_top" (o ords "take_cas_top")
+              ~fail_mo:Relaxed q.top ~expected:t ~desired:(t + 1)
+          in
+          P.store ~site:"take_restore_bottom" (o ords "take_restore_bottom") q.bottom (b + 1);
+          A.op_clear_define ();
+          if won then x else -1
+        end
+        else begin
+          A.op_clear_define ();
+          x
+        end
+      end
+      else begin
+        (* empty: restore bottom *)
+        P.store ~site:"take_restore_bottom" (o ords "take_restore_bottom") q.bottom (b + 1);
+        A.op_clear_define ();
+        -1
+      end)
+
+let steal ords q =
+  A.api_fun ~obj:q.top ~name:"steal" ~args:[] (fun () ->
+      let t = P.load ~site:"steal_load_top" (o ords "steal_load_top") q.top in
+      P.fence (o ords "steal_fence");
+      let b = P.load ~site:"steal_load_bottom" (o ords "steal_load_bottom") q.bottom in
+      if t < b then begin
+        let arr = P.load ~site:"steal_load_array" (o ords "steal_load_array") q.array in
+        let size = P.load ~site:"steal_load_size" Relaxed (a_size arr) in
+        let x = P.load ~site:"steal_load_buffer" (o ords "steal_load_buffer") (a_cell arr size t) in
+        A.op_clear_define ();
+        if
+          P.cas ~site:"steal_cas_top" (o ords "steal_cas_top") ~fail_mo:Relaxed q.top ~expected:t
+            ~desired:(t + 1)
+        then x
+        else -1 (* lost the race: ABORT *)
+      end
+      else begin
+        A.op_clear_define ();
+        -1
+      end)
+
+let spec =
+  let push_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some (fun st (info : Spec.info) -> (Il.push_back (Cdsspec.Call.arg info.call 0) st, None));
+    }
+  in
+  let take_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.back st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_back st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      (* an empty-handed take is justified when the deque really was
+         empty, or when concurrent steals account for everything left *)
+      justifying_postcondition =
+        Some
+          (fun st (info : Spec.info) ~s_ret:_ ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret <> -1 then true
+            else
+              Il.is_empty st
+              || List.for_all
+                   (fun v ->
+                     List.exists
+                       (fun (c : Cdsspec.Call.t) -> c.name = "steal" && c.ret = Some v)
+                       info.concurrent)
+                   (Il.to_list st));
+    }
+  in
+  let steal_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.front st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_front st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      (* empty-handed steal: genuinely empty, or it lost the race for the
+         front element to a concurrent steal or take *)
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret <> -1 then true
+            else
+              s_ret = Some (-1)
+              || List.exists
+                   (fun (c : Cdsspec.Call.t) ->
+                     (c.name = "steal" || c.name = "take") && c.ret = s_ret)
+                   info.concurrent);
+    }
+  in
+  let owner_rules =
+    [
+      { Spec.first = "push"; second = "push"; requires_order = (fun _ _ -> true) };
+      { Spec.first = "take"; second = "take"; requires_order = (fun _ _ -> true) };
+      { Spec.first = "push"; second = "take"; requires_order = (fun _ _ -> true) };
+    ]
+  in
+  Spec.Packed
+    {
+      name = "chase-lev-deque";
+      initial = (fun () -> Il.empty);
+      methods = [ ("push", push_spec); ("take", take_spec); ("steal", steal_spec) ];
+      admissibility = owner_rules;
+      accounting =
+        { spec_lines = 16; ordering_point_lines = 3; admissibility_lines = 3; api_methods = 3 };
+    }
+
+(* The paper's bug-finding test: the owner pushes 3 and takes 2 while a
+   thief steals twice; capacity 2 makes the third push resize. *)
+let test_push_take_steal ords () =
+  let q = create ~capacity:2 ~init_resize:false () in
+  let thief =
+    P.spawn (fun () ->
+        ignore (steal ords q);
+        ignore (steal ords q))
+  in
+  push ords q 1;
+  push ords q 2;
+  push ords q 3;
+  ignore (take ords q);
+  ignore (take ords q);
+  P.join thief
+
+let test_small ords () =
+  let q = create ~capacity:2 ~init_resize:false () in
+  let thief = P.spawn (fun () -> ignore (steal ords q)) in
+  push ords q 1;
+  push ords q 2;
+  ignore (take ords q);
+  P.join thief
+
+(* take and steal race for the single remaining element: exercises both
+   seq_cst CASes on top and the seq_cst fences *)
+let test_last_element ords () =
+  let q = create ~capacity:2 ~init_resize:false () in
+  push ords q 1;
+  let thief = P.spawn (fun () -> ignore (steal ords q)) in
+  ignore (take ords q);
+  P.join thief
+
+let test_resize_race ords () =
+  let q = create ~capacity:1 ~init_resize:false () in
+  let thief = P.spawn (fun () -> ignore (steal ords q)) in
+  push ords q 1;
+  push ords q 2;
+  P.join thief
+
+let benchmark =
+  Benchmark.make
+    ~scheduler:{ Mc.Scheduler.default_config with loop_bound = 4 }
+    ~name:"Chase-Lev Deque" ~spec ~sites
+    [
+      ("small", test_small);
+      ("last-element", test_last_element);
+      ("resize-race", test_resize_race);
+      ("push-take-steal", test_push_take_steal);
+    ]

@@ -1,0 +1,36 @@
+(** The bug-fixed C11 adaptation of the Chase-Lev work-stealing deque
+    (Lê, Pop, Cohen and Zappa Nardelli, PPoPP 2013 [34]). An owner thread
+    pushes and takes at the bottom; thieves steal from the top with a
+    seq_cst CAS. Growth reallocates the buffer; publishing the new buffer
+    with release order is the fix for the bug CDSChecker found (a steal
+    racing with a resizing push could read uninitialized memory).
+
+    Returns -1 for empty (steal also returns -1 when it loses the top
+    race, like the original's ABORT). *)
+
+type t
+
+(** [create ~capacity ~init_resize ()] — [init_resize] zero-fills freshly
+    grown buffers; the paper turns this on to suppress the built-in
+    uninitialized-load report and show the known bug is also caught as a
+    specification violation. *)
+val create : capacity:int -> init_resize:bool -> unit -> t
+
+(** Owner-only. *)
+val push : Ords.t -> t -> int -> unit
+
+(** Owner-only; -1 when empty. *)
+val take : Ords.t -> t -> int
+
+(** Any thread; -1 when empty or when the race for the top element is
+    lost. *)
+val steal : Ords.t -> t -> int
+
+val sites : Ords.site list
+
+(** The published (pre-fix) orders: the resize buffer publication was too
+    weak. *)
+val known_buggy_ords : Ords.t
+
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,17 @@
+(** CLH queue lock: contenders enqueue by swapping a fresh node into the
+    tail and spin on their *predecessor's* flag (where MCS spins on its
+    own node). Handoff is just the predecessor clearing its flag. *)
+
+type t
+
+val create : unit -> t
+
+(** An acquisition handle: allocate per lock/unlock pair. *)
+type handle
+
+val lock : Ords.t -> t -> handle
+val unlock : Ords.t -> t -> handle -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

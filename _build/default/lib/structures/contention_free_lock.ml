@@ -1,0 +1,89 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+open C11.Memory_order
+
+type t = { flag : P.loc; data : P.loc }
+
+let sites =
+  [
+    Ords.site "lock_xchg" For_rmw Acquire;
+    Ords.site "unlock_store" For_store Release;
+  ]
+
+let create () =
+  let flag = P.malloc 1 in
+  let data = P.malloc ~init:0 1 in
+  P.store Relaxed flag 0;
+  { flag; data }
+
+let lock ords l =
+  A.api_proc ~obj:l.flag ~name:"lock" ~args:[] (fun () ->
+      let rec spin () =
+        let prev = P.exchange ~site:"lock_xchg" (Ords.get ords "lock_xchg") l.flag 1 in
+        A.op_clear_define ();
+        if prev = 1 then spin ()
+      in
+      spin ())
+
+let unlock ords l =
+  A.api_proc ~obj:l.flag ~name:"unlock" ~args:[] (fun () ->
+      P.store ~site:"unlock_store" (Ords.get ords "unlock_store") l.flag 0;
+      A.op_define ())
+
+let spec =
+  Ticket_lock.mutex_spec ~name:"contention-free-lock" ~lock_names:[ "lock" ]
+    ~unlock_names:[ "unlock" ] ()
+
+let critical_section (l : t) =
+  let v = P.na_load l.data in
+  P.na_store l.data (v + 1)
+
+let test_uncontended ords () =
+  let l = create () in
+  let t1 =
+    P.spawn (fun () ->
+        lock ords l;
+        critical_section l;
+        unlock ords l;
+        lock ords l;
+        critical_section l;
+        unlock ords l)
+  in
+  P.join t1
+
+let test_handoff ords () =
+  let l = create () in
+  let t1 =
+    P.spawn (fun () ->
+        lock ords l;
+        critical_section l;
+        unlock ords l)
+  in
+  P.join t1;
+  let t2 =
+    P.spawn (fun () ->
+        lock ords l;
+        critical_section l;
+        unlock ords l)
+  in
+  P.join t2
+
+let test_contended ords () =
+  let l = create () in
+  let worker () =
+    lock ords l;
+    critical_section l;
+    unlock ords l
+  in
+  let t1 = P.spawn worker in
+  let t2 = P.spawn worker in
+  P.join t1;
+  P.join t2
+
+let benchmark =
+  Benchmark.make ~name:"Contention-Free Lock" ~spec ~sites
+    [
+      ("uncontended", test_uncontended);
+      ("handoff", test_handoff);
+      ("contended", test_contended);
+    ]

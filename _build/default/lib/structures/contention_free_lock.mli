@@ -1,0 +1,13 @@
+(** A simple test-and-set spinlock, used as the paper's "contention-free
+    lock" benchmark: its unit tests exercise uncontended handoffs plus a
+    mild contention case. *)
+
+type t
+
+val create : unit -> t
+val lock : Ords.t -> t -> unit
+val unlock : Ords.t -> t -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

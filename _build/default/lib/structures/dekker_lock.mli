@@ -1,0 +1,14 @@
+(** Dekker's mutual-exclusion algorithm for two threads — like Peterson's
+    lock, correct only with sequentially consistent flag traffic, but
+    with a different shape: a polite back-off on the turn variable
+    instead of an eager tie-break. Slots are 0 and 1. *)
+
+type t
+
+val create : unit -> t
+val lock : Ords.t -> t -> slot:int -> unit
+val unlock : Ords.t -> t -> slot:int -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,151 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Il = Cdsspec.Seq_state.Int_list
+open C11.Memory_order
+
+(* Layout: [head; tail; slot_0 .. slot_{cap-1}]; slots are non-atomic —
+   index publication is the only synchronization, as in the original. *)
+type t = { base : P.loc; capacity : int }
+
+let f_head q = q.base
+let f_tail q = q.base + 1
+let f_slot q i = q.base + 2 + (i mod q.capacity)
+
+let sites =
+  [
+    Ords.site "enq_load_head" For_load Acquire;
+    Ords.site "enq_load_tail" For_load Relaxed;  (* producer-owned *)
+    Ords.site "enq_store_tail" For_store Release;
+    Ords.site "deq_load_tail" For_load Acquire;
+    Ords.site "deq_load_head" For_load Relaxed;  (* consumer-owned *)
+    Ords.site "deq_store_head" For_store Release;
+  ]
+
+let create capacity =
+  let base = P.malloc ~init:0 (2 + capacity) in
+  { base; capacity }
+
+let o = Ords.get
+
+let enq ords q value =
+  A.api_call ~obj:q.base ~name:"enq" ~args:[ value; q.capacity ] (fun () ->
+      let tail = P.load ~site:"enq_load_tail" (o ords "enq_load_tail") (f_tail q) in
+      let head = P.load ~site:"enq_load_head" (o ords "enq_load_head") (f_head q) in
+      if tail - head >= q.capacity then begin
+        A.op_clear_define ();
+        Some 0 (* full *)
+      end
+      else begin
+        P.na_store (f_slot q tail) value;
+        P.store ~site:"enq_store_tail" (o ords "enq_store_tail") (f_tail q) (tail + 1);
+        A.op_clear_define ();
+        Some 1
+      end)
+  = Some 1
+
+let deq ords q =
+  match
+    A.api_call ~obj:q.base ~name:"deq" ~args:[] (fun () ->
+        let head = P.load ~site:"deq_load_head" (o ords "deq_load_head") (f_head q) in
+        let tail = P.load ~site:"deq_load_tail" (o ords "deq_load_tail") (f_tail q) in
+        if tail = head then begin
+          A.op_clear_define ();
+          Some (-1) (* empty *)
+        end
+        else begin
+          let v = P.na_load (f_slot q head) in
+          P.store ~site:"deq_store_head" (o ords "deq_store_head") (f_head q) (head + 1);
+          A.op_clear_define ();
+          Some v
+        end)
+  with
+  | Some v -> v
+  | None -> -1
+
+let spec =
+  let enq_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            if c_ret = 1 then (Il.push_back (Cdsspec.Call.arg info.call 0) st, Some 1)
+            else (st, Some 0));
+      (* full may be reported spuriously: the consumer's progress was not
+         yet visible *)
+      postcondition = Some (fun _st _info ~s_ret:_ -> true);
+      justifying_postcondition =
+        Some
+          (fun st (info : Spec.info) ~s_ret:_ ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            (* "full" is justified by a prefix holding >= capacity items
+               (the capacity travels as the call's second argument) *)
+            c_ret = 1 || Il.length st >= Cdsspec.Call.arg info.call 1);
+    }
+  in
+  let deq_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.front st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_front st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret = -1 then s_ret = Some (-1) else true);
+    }
+  in
+  let same_kind_ordered =
+    [
+      { Spec.first = "enq"; second = "enq"; requires_order = (fun _ _ -> true) };
+      { Spec.first = "deq"; second = "deq"; requires_order = (fun _ _ -> true) };
+    ]
+  in
+  Spec.Packed
+    {
+      name = "lamport-ring";
+      initial = (fun () -> Il.empty);
+      methods = [ ("enq", enq_spec); ("deq", deq_spec) ];
+      admissibility = same_kind_ordered;
+      accounting =
+        { spec_lines = 13; ordering_point_lines = 2; admissibility_lines = 2; api_methods = 2 };
+    }
+
+let test_1enq_1deq ords () =
+  let q = create 2 in
+  let p = P.spawn (fun () -> ignore (enq ords q 1)) in
+  let c = P.spawn (fun () -> ignore (deq ords q)) in
+  P.join p;
+  P.join c
+
+let test_wraparound ords () =
+  let q = create 2 in
+  let p =
+    P.spawn (fun () ->
+        ignore (enq ords q 1);
+        ignore (enq ords q 2);
+        ignore (enq ords q 3))
+  in
+  let c =
+    P.spawn (fun () ->
+        ignore (deq ords q);
+        ignore (deq ords q))
+  in
+  P.join p;
+  P.join c
+
+let benchmark =
+  Benchmark.make ~name:"Lamport Ring" ~spec ~sites
+    [ ("1enq-1deq", test_1enq_1deq); ("wraparound", test_wraparound) ]

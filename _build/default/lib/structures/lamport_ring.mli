@@ -1,0 +1,19 @@
+(** Lamport's classic single-producer single-consumer ring buffer: a
+    bounded array with head/tail indices, the producer owning the tail
+    and the consumer the head. The release/acquire pair on the indices is
+    what publishes the slots. *)
+
+type t
+
+(** [create capacity] *)
+val create : int -> t
+
+(** Producer-only; false when full. *)
+val enq : Ords.t -> t -> int -> bool
+
+(** Consumer-only; -1 when empty. *)
+val deq : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,112 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+open C11.Memory_order
+
+(* instance: atomic pointer to a 1-cell object holding the payload
+   (written non-atomically during construction — the bug the release /
+   acquire pair prevents); guard: a test-and-set spinlock. *)
+type t = { instance : P.loc; guard : P.loc; payload : int }
+
+let sites =
+  [
+    Ords.site "get_load_fast" For_load Acquire;
+    Ords.site "guard_xchg" For_rmw Acquire;
+    Ords.site "get_load_slow" For_load Relaxed;  (* under the lock *)
+    Ords.site "get_store_publish" For_store Release;
+    Ords.site "guard_store" For_store Release;
+  ]
+
+let create ~payload =
+  let instance = P.malloc 1 in
+  let guard = P.malloc 1 in
+  P.store Relaxed instance 0;
+  P.store Relaxed guard 0;
+  { instance; guard; payload }
+
+let o = Ords.get
+
+(* Returns the singleton's identity (its pointer); the payload is read
+   non-atomically on every path, so a broken publication order surfaces
+   as a data race, and a double construction surfaces as two gets
+   returning different identities — a deterministic-spec violation. *)
+let get ords t =
+  A.api_fun ~obj:t.instance ~name:"get" ~args:[] (fun () ->
+      let fast = P.load ~site:"get_load_fast" (o ords "get_load_fast") t.instance in
+      A.op_define ();
+      if fast <> 0 then begin
+        P.check (P.na_load fast = t.payload) "lazy_init: payload intact";
+        fast
+      end
+      else begin
+        (* slow path: lock, re-check, construct, publish *)
+        let rec acquire_guard () =
+          if P.exchange ~site:"guard_xchg" (o ords "guard_xchg") t.guard 1 = 1 then
+            acquire_guard ()
+        in
+        acquire_guard ();
+        let cur = P.load ~site:"get_load_slow" (o ords "get_load_slow") t.instance in
+        let obj =
+          if cur <> 0 then cur
+          else begin
+            let obj = P.malloc 1 in
+            P.na_store obj t.payload;
+            P.store ~site:"get_store_publish" (o ords "get_store_publish") t.instance obj;
+            A.op_clear_define ();
+            obj
+          end
+        in
+        P.store ~site:"guard_store" (o ords "guard_store") t.guard 0;
+        P.check (P.na_load obj = t.payload) "lazy_init: payload intact";
+        obj
+      end)
+
+let spec =
+  let get_spec =
+    {
+      Spec.default_method with
+      (* deterministic: every get returns the constructed payload, which
+         the sequential model fixes on first call *)
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            match st with
+            | Some v -> (st, Some v)
+            | None -> (Some (Cdsspec.Call.ret_or 0 info.call), Some (Cdsspec.Call.ret_or 0 info.call)));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            Some (Cdsspec.Call.ret_or min_int info.call) = s_ret);
+    }
+  in
+  Spec.Packed
+    {
+      name = "lazy-init";
+      initial = (fun () -> None);
+      methods = [ ("get", get_spec) ];
+      admissibility = [];
+      accounting =
+        { spec_lines = 5; ordering_point_lines = 2; admissibility_lines = 0; api_methods = 1 };
+    }
+
+let test_two_getters ords () =
+  let t = create ~payload:7 in
+  let g1 = P.spawn (fun () -> ignore (get ords t)) in
+  let g2 = P.spawn (fun () -> ignore (get ords t)) in
+  P.join g1;
+  P.join g2
+
+let test_reget ords () =
+  let t = create ~payload:7 in
+  let g1 =
+    P.spawn (fun () ->
+        ignore (get ords t);
+        ignore (get ords t))
+  in
+  let g2 = P.spawn (fun () -> ignore (get ords t)) in
+  P.join g1;
+  P.join g2
+
+let benchmark =
+  Benchmark.make ~name:"Lazy Init" ~spec ~sites
+    [ ("two-getters", test_two_getters); ("reget", test_reget) ]

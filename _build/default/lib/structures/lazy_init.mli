@@ -1,0 +1,16 @@
+(** Double-checked locking lazy initialization — the canonical C++11
+    idiom whose pre-C++11 form was famously broken. A fast-path acquire
+    load of the pointer; on miss, take a spinlock, re-check, construct,
+    and publish with release. [get] returns the payload of the singleton
+    object; every caller must observe the same fully initialized value. *)
+
+type t
+
+(** [create ~payload] — the value the (single) construction writes. *)
+val create : payload:int -> t
+
+val get : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

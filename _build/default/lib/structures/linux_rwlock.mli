@@ -1,0 +1,26 @@
+(** Port of the Linux kernel reader-writer spinlock (as in the
+    CDSChecker benchmark suite): a single counter biased by
+    [rw_lock_bias]; readers subtract 1, writers subtract the whole bias.
+
+    [write_trylock] has a transient side effect (subtract then restore
+    the bias on failure), so racing trylocks can both fail while the
+    sequential specification would force one to succeed — the paper's
+    section 6.1 example of iteratively refining a spec to allow spurious
+    failure. *)
+
+type t
+
+val rw_lock_bias : int
+
+val create : unit -> t
+val read_lock : Ords.t -> t -> unit
+val read_unlock : Ords.t -> t -> unit
+val write_lock : Ords.t -> t -> unit
+val write_unlock : Ords.t -> t -> unit
+
+(** 1 on success, 0 on (possibly spurious) failure. *)
+val write_trylock : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

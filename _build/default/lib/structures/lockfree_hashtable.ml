@@ -1,0 +1,141 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Im = Cdsspec.Seq_state.Int_map
+open C11.Memory_order
+
+(* Slot layout: [key; value] pairs in one block. *)
+type t = { base : P.loc; capacity : int }
+
+let s_key t i = t.base + (2 * (i mod t.capacity))
+let s_value t i = s_key t i + 1
+
+let sites =
+  [
+    Ords.site "put_load_key" For_load Seq_cst;
+    Ords.site "put_cas_key" For_rmw Seq_cst;
+    Ords.site "put_store_value" For_store Seq_cst;
+    Ords.site "get_load_key" For_load Seq_cst;
+    Ords.site "get_load_value" For_load Seq_cst;
+  ]
+
+let create capacity =
+  let base = P.malloc ~init:0 (2 * capacity) in
+  { base; capacity }
+
+let o = Ords.get
+
+let put ords t ~key ~value =
+  A.api_proc ~obj:t.base ~name:"put" ~args:[ key; value ] (fun () ->
+      let rec probe i =
+        if i >= t.capacity then P.check false "hashtable full"
+        else begin
+          let k = P.load ~site:"put_load_key" (o ords "put_load_key") (s_key t (key + i)) in
+          if k = key then begin
+            P.store ~site:"put_store_value" (o ords "put_store_value") (s_value t (key + i)) value;
+            A.op_clear_define ()
+          end
+          else if k = 0 then begin
+            if
+              P.cas ~site:"put_cas_key" (o ords "put_cas_key") (s_key t (key + i)) ~expected:0
+                ~desired:key
+            then begin
+              P.store ~site:"put_store_value" (o ords "put_store_value") (s_value t (key + i)) value;
+              A.op_clear_define ()
+            end
+            else probe i (* someone claimed it; re-read this slot *)
+          end
+          else probe (i + 1)
+        end
+      in
+      probe 0)
+
+let get ords t ~key =
+  A.api_fun ~obj:t.base ~name:"get" ~args:[ key ] (fun () ->
+      let rec probe i =
+        if i >= t.capacity then -1 (* full table, key absent *)
+        else begin
+          let k = P.load ~site:"get_load_key" (o ords "get_load_key") (s_key t (key + i)) in
+          A.op_clear_define ();
+          if k = key then begin
+            let v = P.load ~site:"get_load_value" (o ords "get_load_value") (s_value t (key + i)) in
+            A.op_clear_define ();
+            v
+          end
+          else if k = 0 then 0 (* absent *)
+          else probe (i + 1)
+        end
+      in
+      let r = probe 0 in
+      if r = -1 then 0 else r)
+
+let spec =
+  let put_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            ( Im.put ~key:(Cdsspec.Call.arg info.call 0) ~value:(Cdsspec.Call.arg info.call 1) st,
+              None ));
+    }
+  in
+  let get_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            (st, Some (Im.get_or 0 ~key:(Cdsspec.Call.arg info.call 0) st)));
+      (* fully deterministic: seq_cst ordering points totally order
+         same-key operations *)
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            Some c_ret = s_ret);
+    }
+  in
+  Spec.Packed
+    {
+      name = "lockfree-hashtable";
+      initial = (fun () -> Im.empty);
+      methods = [ ("put", put_spec); ("get", get_spec) ];
+      admissibility = [];
+      accounting =
+        { spec_lines = 8; ordering_point_lines = 4; admissibility_lines = 0; api_methods = 2 };
+    }
+
+let test_put_get ords () =
+  let t = create 2 in
+  let t1 = P.spawn (fun () -> put ords t ~key:1 ~value:7) in
+  let t2 = P.spawn (fun () -> ignore (get ords t ~key:1)) in
+  P.join t1;
+  P.join t2
+
+let test_two_keys ords () =
+  let t = create 4 in
+  let t1 =
+    P.spawn (fun () ->
+        put ords t ~key:1 ~value:7;
+        ignore (get ords t ~key:2))
+  in
+  let t2 =
+    P.spawn (fun () ->
+        put ords t ~key:2 ~value:9;
+        ignore (get ords t ~key:1))
+  in
+  P.join t1;
+  P.join t2
+
+let test_update ords () =
+  let t = create 2 in
+  put ords t ~key:1 ~value:5;
+  let t1 = P.spawn (fun () -> put ords t ~key:1 ~value:7) in
+  let t2 = P.spawn (fun () -> ignore (get ords t ~key:1)) in
+  P.join t1;
+  P.join t2
+
+let benchmark =
+  Benchmark.make ~name:"Lockfree Hashtable" ~spec ~sites
+    [ ("put-get", test_put_get); ("two-keys", test_two_keys); ("update", test_update) ]

@@ -1,0 +1,20 @@
+(** Fixed-capacity lock-free hashtable in the style of the paper's port
+    of Doug Lea's ConcurrentHashMap slot array: open addressing over
+    atomic key/value slots, with seq_cst operations establishing strong
+    ordering between [get] and [put] on the same key — which is what lets
+    the specification be a plain deterministic sequential map. Keys and
+    values must be non-zero (0 encodes an empty slot / absent key). *)
+
+type t
+
+(** [create capacity] *)
+val create : int -> t
+
+val put : Ords.t -> t -> key:int -> value:int -> unit
+
+(** 0 when absent. *)
+val get : Ords.t -> t -> key:int -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

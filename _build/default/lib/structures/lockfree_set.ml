@@ -1,0 +1,243 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Is = Cdsspec.Seq_state.Int_set
+open C11.Memory_order
+
+(* Node layout: [next_enc (atomic); key (non-atomic)]. The next field
+   encodes mark and pointer as [2*ptr + mark]; pointer 0 is the list
+   end. The head sentinel holds no key. *)
+let f_next node = node
+let f_key node = node + 1
+
+let enc ?(mark = 0) ptr = (2 * ptr) + mark
+let ptr_of e = e / 2
+let mark_of e = e land 1
+
+type t = { head : P.loc }
+
+let sites =
+  [
+    Ords.site "find_load_next" For_load Acquire;
+    Ords.site "find_cas_unlink" For_rmw Acq_rel;
+    Ords.site "add_cas_link" For_rmw Release;
+    Ords.site "remove_cas_mark" For_rmw Acq_rel;
+    Ords.site "remove_cas_unlink" For_rmw Acq_rel;
+    Ords.site "contains_load_next" For_load Acquire;
+  ]
+
+let new_node key next_enc =
+  let n = P.malloc 2 in
+  P.na_store (f_key n) key;
+  P.store Relaxed (f_next n) next_enc;
+  n
+
+let create () =
+  let head = new_node 0 (enc 0) in
+  { head }
+
+let o = Ords.get
+
+(* Find the first unmarked node with key >= [key]; returns (prev, curr)
+   where curr = 0 at the end of the list. Helps unlink marked nodes,
+   restarting when a CAS loses. Every next-field load refreshes the
+   call's ordering point. *)
+let rec find ords t key =
+  let rec walk prev curr_enc =
+    let curr = ptr_of curr_enc in
+    if curr = 0 then Some (prev, 0)
+    else begin
+      let succ_enc = P.load ~site:"find_load_next" (o ords "find_load_next") (f_next curr) in
+      A.op_clear_define ();
+      if mark_of succ_enc = 1 then begin
+        (* help unlink the logically deleted node *)
+        if
+          P.cas ~site:"find_cas_unlink" (o ords "find_cas_unlink") (f_next prev)
+            ~expected:(enc curr)
+            ~desired:(enc (ptr_of succ_enc))
+        then walk prev (enc (ptr_of succ_enc))
+        else None (* lost a race: restart the traversal *)
+      end
+      else begin
+        let ckey = P.na_load (f_key curr) in
+        if ckey >= key then Some (prev, curr) else walk curr succ_enc
+      end
+    end
+  in
+  let first = P.load ~site:"find_load_next" (o ords "find_load_next") (f_next t.head) in
+  A.op_clear_define ();
+  match walk t.head first with
+  | Some result -> result
+  | None -> find ords t key
+
+let add ords t key =
+  A.api_fun ~obj:t.head ~name:"add" ~args:[ key ] (fun () ->
+      let rec attempt () =
+        let prev, curr = find ords t key in
+        if curr <> 0 && P.na_load (f_key curr) = key then 0
+        else begin
+          let n = new_node key (enc curr) in
+          if
+            P.cas ~site:"add_cas_link" (o ords "add_cas_link") (f_next prev) ~expected:(enc curr)
+              ~desired:(enc n)
+          then begin
+            A.op_clear_define ();
+            1
+          end
+          else attempt ()
+        end
+      in
+      attempt ())
+
+let remove ords t key =
+  A.api_fun ~obj:t.head ~name:"remove" ~args:[ key ] (fun () ->
+      let rec attempt () =
+        let prev, curr = find ords t key in
+        if curr = 0 || P.na_load (f_key curr) <> key then 0
+        else begin
+          let succ_enc = P.load ~site:"find_load_next" (o ords "find_load_next") (f_next curr) in
+          if mark_of succ_enc = 1 then attempt ()
+          else if
+            P.cas ~site:"remove_cas_mark" (o ords "remove_cas_mark") (f_next curr)
+              ~expected:succ_enc
+              ~desired:(succ_enc lor 1)
+          then begin
+            A.op_clear_define ();
+            (* best-effort physical unlink; find() helps if this loses *)
+            ignore
+              (P.cas ~site:"remove_cas_unlink" (o ords "remove_cas_unlink") (f_next prev)
+                 ~expected:(enc curr)
+                 ~desired:(enc (ptr_of succ_enc)));
+            1
+          end
+          else attempt ()
+        end
+      in
+      attempt ())
+
+let contains ords t key =
+  A.api_fun ~obj:t.head ~name:"contains" ~args:[ key ] (fun () ->
+      let rec walk node =
+        let next_enc = P.load ~site:"contains_load_next" (o ords "contains_load_next") (f_next node) in
+        A.op_clear_define ();
+        let curr = ptr_of next_enc in
+        if curr = 0 then 0
+        else begin
+          let ckey = P.na_load (f_key curr) in
+          if ckey < key then walk curr
+          else if ckey = key then begin
+            (* present iff not logically deleted *)
+            let e = P.load ~site:"contains_load_next" (o ords "contains_load_next") (f_next curr) in
+            A.op_clear_define ();
+            if mark_of e = 0 then 1 else 0
+          end
+          else 0
+        end
+      in
+      walk t.head)
+
+let spec =
+  let key_of (info : Spec.info) = Cdsspec.Call.arg info.call 0 in
+  let add_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let k = key_of info in
+            if Is.mem k st then (st, Some 0) else (Is.add k st, Some 1));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret -> Some (Cdsspec.Call.ret_or 0 info.call) = s_ret);
+    }
+  in
+  let remove_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let k = key_of info in
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            if Is.mem k st && c_ret = 1 then (Is.remove k st, Some 1)
+            else (st, Some (if Is.mem k st then 1 else 0)));
+      (* a successful remove is deterministic; "absent" may be spurious
+         (the adding call was merely concurrent) and needs justification *)
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            c_ret = 0 || s_ret = Some 1);
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            if c_ret = 1 then true
+            else
+              s_ret = Some 0
+              || List.exists
+                   (fun (c : Cdsspec.Call.t) ->
+                     c.name = "remove" && Cdsspec.Call.arg c 0 = key_of info && c.ret = Some 1)
+                   info.concurrent);
+    }
+  in
+  let contains_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some (fun st (info : Spec.info) -> (st, Some (if Is.mem (key_of info) st then 1 else 0)));
+      postcondition = Some (fun _st _info ~s_ret:_ -> true);
+      (* an answer is justified by a prefix on which it holds, or by a
+         concurrent add/remove of the same key *)
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            Some c_ret = s_ret
+            || List.exists
+                 (fun (c : Cdsspec.Call.t) ->
+                   (c.name = "add" || c.name = "remove")
+                   && Cdsspec.Call.arg c 0 = key_of info)
+                 info.concurrent);
+    }
+  in
+  Spec.Packed
+    {
+      name = "lockfree-set";
+      initial = (fun () -> Is.empty);
+      methods = [ ("add", add_spec); ("remove", remove_spec); ("contains", contains_spec) ];
+      admissibility = [];
+      accounting =
+        { spec_lines = 14; ordering_point_lines = 4; admissibility_lines = 0; api_methods = 3 };
+    }
+
+let test_add_contains ords () =
+  let t = create () in
+  let t1 = P.spawn (fun () -> ignore (add ords t 1)) in
+  let t2 = P.spawn (fun () -> ignore (contains ords t 1)) in
+  P.join t1;
+  P.join t2
+
+let test_racing_adds ords () =
+  let t = create () in
+  let t1 = P.spawn (fun () -> ignore (add ords t 1)) in
+  let t2 = P.spawn (fun () -> ignore (add ords t 1)) in
+  P.join t1;
+  P.join t2
+
+let test_add_remove ords () =
+  let t = create () in
+  ignore (add ords t 1);
+  let t1 = P.spawn (fun () -> ignore (remove ords t 1)) in
+  let t2 = P.spawn (fun () -> ignore (add ords t 2)) in
+  P.join t1;
+  P.join t2;
+  ignore (contains ords t 1)
+
+let benchmark =
+  Benchmark.make ~name:"Lockfree Set" ~spec ~sites
+    [
+      ("add-contains", test_add_contains);
+      ("racing-adds", test_racing_adds);
+      ("add-remove", test_add_remove);
+    ]

@@ -1,0 +1,25 @@
+(** Harris–Michael lock-free ordered linked-list set. Logical deletion
+    marks a bit encoded in the next pointer (stored as [2*ptr + mark]);
+    traversals help unlink marked nodes. Keys must be positive and small.
+
+    The specification maps it to a sequential set: add/remove are
+    deterministic (their CAS chain orders same-key operations);
+    [contains] is non-deterministic and must be justified by a prefix on
+    which the answer matches, or by a concurrent add/remove of that key. *)
+
+type t
+
+val create : unit -> t
+
+(** 1 if inserted, 0 if the key was already present. *)
+val add : Ords.t -> t -> int -> int
+
+(** 1 if removed, 0 if absent. *)
+val remove : Ords.t -> t -> int -> int
+
+(** 1 if present, 0 otherwise. *)
+val contains : Ords.t -> t -> int -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,19 @@
+(** MCS queue lock: contending threads enqueue per-thread nodes on an
+    atomic tail and spin on their own node's flag, so each handoff
+    synchronizes exactly one pair of threads. *)
+
+type t
+
+val create : unit -> t
+
+(** Per-thread queue node; allocate one per thread per acquisition. *)
+type node
+
+val make_node : unit -> node
+
+val lock : Ords.t -> t -> node -> unit
+val unlock : Ords.t -> t -> node -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,197 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Il = Cdsspec.Seq_state.Int_list
+open C11.Memory_order
+
+(* Cell layout: [seq; data]; cells are consecutive pairs after the
+   header. Queue layout: [enq_pos; deq_pos; cells...]. *)
+type t = { base : P.loc; capacity : int }
+
+let f_enq_pos q = q.base
+let f_deq_pos q = q.base + 1
+let f_cell_seq q i = q.base + 2 + (2 * (i mod q.capacity))
+let f_cell_data q i = f_cell_seq q i + 1
+
+let sites =
+  [
+    Ords.site "enq_load_pos" For_load Relaxed;
+    Ords.site "enq_load_seq" For_load Acquire;
+    Ords.site "enq_cas_pos" For_rmw Acq_rel;
+    Ords.site "enq_store_seq" For_store Release;
+    Ords.site "deq_load_pos" For_load Relaxed;
+    Ords.site "deq_load_seq" For_load Acquire;
+    Ords.site "deq_cas_pos" For_rmw Acq_rel;
+    Ords.site "deq_store_seq" For_store Release;
+  ]
+
+let create capacity =
+  let base = P.malloc (2 + (2 * capacity)) in
+  P.store Relaxed base 0;
+  P.store Relaxed (base + 1) 0;
+  let q = { base; capacity } in
+  for i = 0 to capacity - 1 do
+    P.store Relaxed (f_cell_seq q i) i;
+    P.store Relaxed (f_cell_data q i) 0
+  done;
+  q
+
+let o = Ords.get
+
+let enq ords q value =
+  let result =
+    A.api_call ~obj:q.base ~name:"enq" ~args:[ value ] (fun () ->
+        let rec attempt () =
+          let pos = P.load ~site:"enq_load_pos" (o ords "enq_load_pos") (f_enq_pos q) in
+          let s = P.load ~site:"enq_load_seq" (o ords "enq_load_seq") (f_cell_seq q pos) in
+          if s = pos then begin
+            if
+              P.cas ~site:"enq_cas_pos" (o ords "enq_cas_pos") (f_enq_pos q) ~expected:pos
+                ~desired:(pos + 1)
+            then begin
+              A.op_define ();
+              (* we own cell pos for this epoch *)
+              P.store Relaxed (f_cell_data q pos) value;
+              P.store ~site:"enq_store_seq" (o ords "enq_store_seq") (f_cell_seq q pos) (pos + 1);
+              A.op_define ();
+              Some 1
+            end
+            else attempt ()
+          end
+          else if s < pos then Some 0 (* full *)
+          else attempt ()
+        in
+        attempt ())
+  in
+  result = Some 1
+
+let deq ords q =
+  match
+    A.api_call ~obj:q.base ~name:"deq" ~args:[] (fun () ->
+        let rec attempt () =
+          let pos = P.load ~site:"deq_load_pos" (o ords "deq_load_pos") (f_deq_pos q) in
+          let s = P.load ~site:"deq_load_seq" (o ords "deq_load_seq") (f_cell_seq q pos) in
+          A.op_clear_define ();
+          if s = pos + 1 then begin
+            if
+              P.cas ~site:"deq_cas_pos" (o ords "deq_cas_pos") (f_deq_pos q) ~expected:pos
+                ~desired:(pos + 1)
+            then begin
+              A.op_define ();
+              let v = P.load Relaxed (f_cell_data q pos) in
+              P.store ~site:"deq_store_seq" (o ords "deq_store_seq") (f_cell_seq q pos)
+                (pos + q.capacity);
+              Some v
+            end
+            else attempt ()
+          end
+          else if s < pos + 1 then Some (-1) (* empty *)
+          else attempt ()
+        in
+        attempt ())
+  with
+  | Some v -> v
+  | None -> -1
+
+let spec =
+  let enq_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            if c_ret = 1 then (Il.push_back (Cdsspec.Call.arg info.call 0) st, Some 1)
+            else (st, Some 0));
+    }
+  in
+  let deq_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.front st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_front st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret = -1 then s_ret = Some (-1) else true);
+    }
+  in
+  (* @Admit: deq <-> enq (M1->C_RET != -1 && M1->C_RET == M2->val):
+     dequeuing a value requires being ordered with its enqueue *)
+  let deq_of_enq =
+    {
+      Spec.first = "deq";
+      second = "enq";
+      requires_order =
+        (fun d e -> Cdsspec.Call.ret_or (-1) d <> -1
+                    && Cdsspec.Call.ret_or (-1) d = Cdsspec.Call.arg e 0);
+    }
+  in
+  Spec.Packed
+    {
+      name = "mpmc-queue";
+      initial = (fun () -> Il.empty);
+      methods = [ ("enq", enq_spec); ("deq", deq_spec) ];
+      admissibility = [ deq_of_enq ];
+      accounting =
+        { spec_lines = 13; ordering_point_lines = 4; admissibility_lines = 1; api_methods = 2 };
+    }
+
+let test_1enq_1deq ords () =
+  let q = create 2 in
+  let t1 = P.spawn (fun () -> ignore (enq ords q 1)) in
+  let t2 = P.spawn (fun () -> ignore (deq ords q)) in
+  P.join t1;
+  P.join t2
+
+let test_2enq_2deq ords () =
+  let q = create 2 in
+  let t1 =
+    P.spawn (fun () ->
+        ignore (enq ords q 1);
+        ignore (enq ords q 2))
+  in
+  let t2 =
+    P.spawn (fun () ->
+        ignore (deq ords q);
+        ignore (deq ords q))
+  in
+  P.join t1;
+  P.join t2
+
+let test_racing_deqs ords () =
+  let q = create 2 in
+  ignore (enq ords q 1);
+  ignore (enq ords q 2);
+  let t1 = P.spawn (fun () -> ignore (deq ords q)) in
+  let t2 = P.spawn (fun () -> ignore (deq ords q)) in
+  P.join t1;
+  P.join t2
+
+let test_racing_enqs ords () =
+  let q = create 2 in
+  let t1 = P.spawn (fun () -> ignore (enq ords q 1)) in
+  let t2 = P.spawn (fun () -> ignore (enq ords q 2)) in
+  P.join t1;
+  P.join t2;
+  ignore (deq ords q)
+
+let benchmark =
+  Benchmark.make ~name:"MPMC Queue" ~spec ~sites
+    [
+      ("1enq-1deq", test_1enq_1deq);
+      ("2enq-2deq", test_2enq_2deq);
+      ("racing-deqs", test_racing_deqs);
+      ("racing-enqs", test_racing_enqs);
+    ]

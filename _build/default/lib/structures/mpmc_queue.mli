@@ -1,0 +1,23 @@
+(** Bounded multi-producer multi-consumer queue: an array of cells with
+    per-cell sequence numbers plus enqueue/dequeue position counters
+    (Vyukov-style, the "array-based implementation with read/write
+    counters" of the paper's section 6.4.2). Cell sequence numbers wrap
+    by +capacity per epoch, so a full counter rollover — the structure's
+    known (practically untriggerable) bug — needs more positions than any
+    unit test exercises, which is why some injections are undetectable at
+    unit-test scale (the paper reports a 50% detection rate here). *)
+
+type t
+
+(** [create capacity] — capacity cells. *)
+val create : int -> t
+
+(** [enq] returns false when the queue is full. *)
+val enq : Ords.t -> t -> int -> bool
+
+(** The dequeued value, or -1 when the queue appears empty. *)
+val deq : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

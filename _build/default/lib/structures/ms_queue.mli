@@ -1,0 +1,25 @@
+(** Michael & Scott non-blocking queue [38], ported from the CDSChecker
+    benchmark suite. Two bugs in the original port were found by AutoMO
+    (paper section 6.4.1): weaker-than-necessary memory orders on the
+    enqueue CAS that links the new node and on the dequeue load of the
+    next pointer. [known_buggy_ords] reproduces them. *)
+
+type t
+
+val create : unit -> t
+val enq : Ords.t -> t -> int -> unit
+
+(** Returns the dequeued value or -1 when the queue appears empty. *)
+val deq : Ords.t -> t -> int
+
+val sites : Ords.site list
+
+(** The memory orders of the original buggy port (both known bugs
+    enabled). *)
+val known_buggy_ords : Ords.t
+
+(** Each known bug individually: site name and the buggy table. *)
+val known_bugs : (string * Ords.t) list
+
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

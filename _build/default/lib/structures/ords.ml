@@ -1,0 +1,41 @@
+module Mo = C11.Memory_order
+
+type site = {
+  name : string;
+  kind : Mo.op_kind;
+  order : Mo.t;
+}
+
+let site name kind order =
+  assert (Mo.valid_for kind order);
+  { name; kind; order }
+
+type t = (string, Mo.t) Hashtbl.t
+
+let table assoc =
+  let t = Hashtbl.create 16 in
+  List.iter (fun (name, order) -> Hashtbl.replace t name order) assoc;
+  t
+
+let default sites = table (List.map (fun s -> (s.name, s.order)) sites)
+
+let weakened sites name =
+  match List.find_opt (fun s -> s.name = name) sites with
+  | None -> invalid_arg ("Ords.weakened: unknown site " ^ name)
+  | Some s -> (
+    match Mo.weaken s.kind s.order with
+    | None -> None
+    | Some weaker ->
+      Some (table (List.map (fun s -> (s.name, if s.name = name then weaker else s.order)) sites)))
+
+let with_order sites name order =
+  if not (List.exists (fun s -> s.name = name) sites) then
+    invalid_arg ("Ords.with_order: unknown site " ^ name);
+  table (List.map (fun s -> (s.name, if s.name = name then order else s.order)) sites)
+
+let weakenable sites = List.filter (fun s -> Mo.weaken s.kind s.order <> None) sites
+
+let get t name =
+  match Hashtbl.find_opt t name with
+  | Some o -> o
+  | None -> invalid_arg ("Ords.get: unknown site " ^ name)

@@ -1,0 +1,33 @@
+(** Per-site memory-order tables. Every atomic operation in a benchmark
+    names its static site; the implementation reads the site's memory
+    order from a table, so the bug-injection experiment (paper section
+    6.4.2) can weaken exactly one site per trial without touching the
+    code. *)
+
+type site = {
+  name : string;
+  kind : C11.Memory_order.op_kind;
+  order : C11.Memory_order.t;  (** the correct (published) order *)
+}
+
+val site : string -> C11.Memory_order.op_kind -> C11.Memory_order.t -> site
+
+type t
+
+(** The table with every site at its correct order. *)
+val default : site list -> t
+
+(** [weakened sites name] is the table with [name] weakened one step
+    (seq_cst -> acq_rel -> release/acquire -> relaxed), or [None] when
+    the site is already relaxed. *)
+val weakened : site list -> string -> t option
+
+(** [with_order sites name order] pins one site to an arbitrary order. *)
+val with_order : site list -> string -> C11.Memory_order.t -> t
+
+(** Sites that can be weakened at least one step. *)
+val weakenable : site list -> site list
+
+(** [get t name] — raises [Invalid_argument] on unknown sites, which
+    catches typos in implementations. *)
+val get : t -> string -> C11.Memory_order.t

@@ -1,0 +1,20 @@
+(** Peterson's two-thread mutual-exclusion algorithm — the textbook
+    example of an algorithm that is only correct under sequential
+    consistency. The flag stores and the cross-flag load must all be
+    seq_cst; weakening any of them admits both threads into the critical
+    section, which the injection experiment catches as a data race and a
+    lock-specification violation. Thread slots are 0 and 1. *)
+
+type t
+
+val create : unit -> t
+
+(** [lock ords t ~slot] with [slot] 0 or 1; each slot owned by one
+    thread. *)
+val lock : Ords.t -> t -> slot:int -> unit
+
+val unlock : Ords.t -> t -> slot:int -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,117 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+open C11.Memory_order
+
+(* Data node layout: [field_a; field_b], both non-atomic. *)
+let f_a node = node
+let f_b node = node + 1
+
+type t = { published : P.loc }
+
+let sites =
+  [
+    Ords.site "write_store_publish" For_store Release;
+    Ords.site "read_load_publish" For_load Acquire;
+  ]
+
+let new_version v =
+  let n = P.malloc 2 in
+  P.na_store (f_a n) v;
+  P.na_store (f_b n) v;
+  n
+
+let create () =
+  let published = P.malloc 1 in
+  let initial = new_version 0 in
+  P.store Relaxed published initial;
+  { published }
+
+let write ords t v =
+  A.api_proc ~obj:t.published ~name:"write" ~args:[ v ] (fun () ->
+      let n = new_version v in
+      P.store ~site:"write_store_publish" (Ords.get ords "write_store_publish") t.published n;
+      A.op_define ())
+
+let read ords t =
+  A.api_fun ~obj:t.published ~name:"read" ~args:[] (fun () ->
+      let p = P.load ~site:"read_load_publish" (Ords.get ords "read_load_publish") t.published in
+      A.op_define ();
+      let a = P.na_load (f_a p) in
+      let b = P.na_load (f_b p) in
+      P.check (a = b) "rcu: torn snapshot";
+      a)
+
+let spec =
+  let write_spec =
+    {
+      Spec.default_method with
+      side_effect = Some (fun _st (info : Spec.info) -> (Cdsspec.Call.arg info.call 0, None));
+    }
+  in
+  let read_spec =
+    {
+      Spec.default_method with
+      side_effect = Some (fun st _ -> (st, Some st));
+      postcondition = Some (fun _st _info ~s_ret:_ -> true);
+      (* grace semantics: a read returns the version current in some
+         justifying prefix, or one being published concurrently *)
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or min_int info.call in
+            Some c_ret = s_ret
+            || List.exists
+                 (fun (c : Cdsspec.Call.t) -> c.name = "write" && Cdsspec.Call.arg c 0 = c_ret)
+                 info.concurrent);
+    }
+  in
+  Spec.Packed
+    {
+      name = "rcu";
+      initial = (fun () -> 0);
+      methods = [ ("write", write_spec); ("read", read_spec) ];
+      admissibility =
+        [ { Spec.first = "write"; second = "write"; requires_order = (fun _ _ -> true) } ];
+      accounting =
+        { spec_lines = 8; ordering_point_lines = 2; admissibility_lines = 1; api_methods = 2 };
+    }
+
+let test_1write_1read ords () =
+  let t = create () in
+  let w = P.spawn (fun () -> write ords t 1) in
+  let r = P.spawn (fun () -> ignore (read ords t)) in
+  P.join w;
+  P.join r
+
+let test_1write_2read ords () =
+  let t = create () in
+  let w = P.spawn (fun () -> write ords t 1) in
+  let r1 = P.spawn (fun () -> ignore (read ords t)) in
+  let r2 =
+    P.spawn (fun () ->
+        ignore (read ords t);
+        ignore (read ords t))
+  in
+  P.join w;
+  P.join r1;
+  P.join r2
+
+let test_2write_1read ords () =
+  let t = create () in
+  let w =
+    P.spawn (fun () ->
+        write ords t 1;
+        write ords t 2)
+  in
+  let r = P.spawn (fun () -> ignore (read ords t)) in
+  P.join w;
+  P.join r
+
+let benchmark =
+  Benchmark.make ~name:"RCU" ~spec ~sites
+    [
+      ("1write-1read", test_1write_1read);
+      ("1write-2read", test_1write_2read);
+      ("2write-1read", test_2write_1read);
+    ]

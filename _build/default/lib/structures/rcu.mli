@@ -1,0 +1,25 @@
+(** User-level RCU in the style of the AutoMO benchmark: a writer
+    publishes a freshly initialized copy of the data through an atomic
+    pointer; readers dereference the pointer and read the (non-atomic)
+    fields. Correctness hinges on the release/acquire pair on the
+    pointer — weakening it makes the field reads race with
+    initialization, which the built-in checks catch (this is why the
+    paper's Figure 8 reports RCU's injections as all caught by built-in
+    checks). *)
+
+type t
+
+val create : unit -> t
+
+(** [write ords t v] publishes a new version whose two fields are both
+    [v]. Writers must be externally serialized (single updater), which
+    the spec states as an admissibility rule. *)
+val write : Ords.t -> t -> int -> unit
+
+(** [read] returns the version it observed; it also checks the snapshot
+    is internally consistent (both fields equal). *)
+val read : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

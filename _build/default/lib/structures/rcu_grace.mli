@@ -1,0 +1,30 @@
+(** User-level RCU with explicit grace periods (in the spirit of
+    Desnoyers et al. [24]): readers mark per-slot active flags around
+    their critical sections; a writer publishes a new version and then
+    waits until every reader slot is quiescent before reclaiming the old
+    version (overwriting its fields with distinct poison markers).
+
+    The seq_cst flag/pointer protocol is load-bearing: the reader's
+    active-store vs published-load and the writer's published-store vs
+    active-load form a store-buffering shape that only seq_cst forbids —
+    weaken any of those orders and a reader can still hold the old
+    version while the writer reclaims it, which surfaces as a data race
+    and a torn-snapshot assertion. *)
+
+type t
+
+(** [create ~readers] — fixed number of reader slots. *)
+val create : readers:int -> t
+
+(** [read ords t ~slot] — a full read-side critical section on reader
+    slot [slot]: lock, dereference, read both fields, unlock. Returns
+    the observed version. *)
+val read : Ords.t -> t -> slot:int -> int
+
+(** [write ords t v] — publish version [v], wait for a grace period,
+    reclaim the previous version. Single writer (admissibility rule). *)
+val write : Ords.t -> t -> int -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

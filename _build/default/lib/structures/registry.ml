@@ -1,0 +1,29 @@
+(* The first ten rows mirror the paper's Figure 7; the rest are the
+   running example and extensions. *)
+let all =
+  [
+    Chase_lev_deque.benchmark;
+    Spsc_queue.benchmark;
+    Rcu.benchmark;
+    Lockfree_hashtable.benchmark;
+    Mcs_lock.benchmark;
+    Mpmc_queue.benchmark;
+    Ms_queue.benchmark;
+    Linux_rwlock.benchmark;
+    Seqlock.benchmark;
+    Ticket_lock.benchmark;
+    Blocking_queue.benchmark;
+    Atomic_register.benchmark;
+    Contention_free_lock.benchmark;
+    Treiber_stack.benchmark;
+    Peterson_lock.benchmark;
+    Barrier.benchmark;
+    Rcu_grace.benchmark;
+    Lockfree_set.benchmark;
+    Dekker_lock.benchmark;
+    Lamport_ring.benchmark;
+    Clh_lock.benchmark;
+    Lazy_init.benchmark;
+  ]
+
+let find name = List.find_opt (fun (b : Benchmark.t) -> b.name = name) all

@@ -1,0 +1,5 @@
+(** All benchmarks, in the paper's Figure 7 row order where applicable. *)
+
+val all : Benchmark.t list
+
+val find : string -> Benchmark.t option

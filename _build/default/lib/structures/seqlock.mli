@@ -1,0 +1,24 @@
+(** Sequence lock (ported for AutoMO). Writers bump the sequence number
+    to odd, write, then bump to even; readers retry until they observe an
+    even, unchanged sequence around their data read.
+
+    The specification is a synchronized register: a read must return the
+    value of a write in its justifying prefix — unlike a relaxed register,
+    a torn read of a merely concurrent write is NOT acceptable, because a
+    validated seqlock read claims a consistent snapshot. *)
+
+type t
+
+val create : unit -> t
+
+(** [write ords t v] stores the snapshot [(v, v)]. Values must be small
+    (< 16) so snapshots pack into one return value. *)
+val write : Ords.t -> t -> int -> unit
+
+(** Returns the packed snapshot [16*a + b]; a torn read shows up as
+    [a <> b], which the specification rejects as unjustifiable. *)
+val read : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,126 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Il = Cdsspec.Seq_state.Int_list
+open C11.Memory_order
+
+(* Node layout: [next; data]. head/tail are non-atomic cells: each is
+   touched by a single thread (consumer/producer respectively). *)
+let f_next node = node
+let f_data node = node + 1
+
+type t = { head : P.loc; tail : P.loc }
+
+let sites =
+  [
+    Ords.site "enq_store_next" For_store Release;
+    Ords.site "deq_load_next" For_load Acquire;
+  ]
+
+let new_node value =
+  let n = P.malloc 2 in
+  P.store Relaxed (f_next n) 0;
+  P.na_store (f_data n) value;
+  n
+
+let create () =
+  let dummy = new_node 0 in
+  let head = P.malloc 1 in
+  let tail = P.malloc 1 in
+  P.na_store head dummy;
+  P.na_store tail dummy;
+  { head; tail }
+
+let enq ords q value =
+  A.api_proc ~obj:q.head ~name:"enq" ~args:[ value ] (fun () ->
+      let n = new_node value in
+      let t = P.na_load q.tail in
+      P.store ~site:"enq_store_next" (Ords.get ords "enq_store_next") (f_next t) n;
+      A.op_define ();
+      P.na_store q.tail n)
+
+let deq ords q =
+  A.api_fun ~obj:q.head ~name:"deq" ~args:[] (fun () ->
+      let h = P.na_load q.head in
+      let n = P.load ~site:"deq_load_next" (Ords.get ords "deq_load_next") (f_next h) in
+      A.op_define ();
+      if n = 0 then -1
+      else begin
+        let value = P.na_load (f_data n) in
+        P.na_store q.head n;
+        value
+      end)
+
+let spec =
+  let enq_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some (fun st (info : Spec.info) -> (Il.push_back (Cdsspec.Call.arg info.call 0) st, None));
+    }
+  in
+  let deq_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.front st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_front st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret = -1 then s_ret = Some (-1) else true);
+    }
+  in
+  (* SPSC usage contract: all enqueues are one thread, all dequeues
+     another, so same-kind calls must be ordered. *)
+  let same_kind_ordered =
+    [
+      { Spec.first = "enq"; second = "enq"; requires_order = (fun _ _ -> true) };
+      { Spec.first = "deq"; second = "deq"; requires_order = (fun _ _ -> true) };
+    ]
+  in
+  Spec.Packed
+    {
+      name = "spsc-queue";
+      initial = (fun () -> Il.empty);
+      methods = [ ("enq", enq_spec); ("deq", deq_spec) ];
+      admissibility = same_kind_ordered;
+      accounting =
+        { spec_lines = 12; ordering_point_lines = 2; admissibility_lines = 2; api_methods = 2 };
+    }
+
+let test_1enq_1deq ords () =
+  let q = create () in
+  let producer = P.spawn (fun () -> enq ords q 1) in
+  let consumer = P.spawn (fun () -> ignore (deq ords q)) in
+  P.join producer;
+  P.join consumer
+
+let test_2enq_2deq ords () =
+  let q = create () in
+  let producer =
+    P.spawn (fun () ->
+        enq ords q 1;
+        enq ords q 2)
+  in
+  let consumer =
+    P.spawn (fun () ->
+        ignore (deq ords q);
+        ignore (deq ords q))
+  in
+  P.join producer;
+  P.join consumer
+
+let benchmark =
+  Benchmark.make ~name:"SPSC Queue" ~spec ~sites
+    [ ("1enq-1deq", test_1enq_1deq); ("2enq-2deq", test_2enq_2deq) ]

@@ -1,0 +1,18 @@
+(** Single-producer single-consumer linked queue (from the CDSChecker
+    benchmark suite). Only the node [next] pointers are atomic; the
+    producer-side tail and consumer-side head are owned by one thread
+    each, which the specification captures with admissibility rules. *)
+
+type t
+
+val create : unit -> t
+
+(** Producer-only. *)
+val enq : Ords.t -> t -> int -> unit
+
+(** Consumer-only; -1 when the queue appears empty. *)
+val deq : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -1,0 +1,25 @@
+(** Ticket lock [42] (ported for AutoMO). The ticket grab is an
+    intentionally relaxed fetch_add — synchronization is established on
+    the [now_serving] variable instead (paper section 6.1). *)
+
+type t
+
+val create : unit -> t
+val lock : Ords.t -> t -> unit
+val unlock : Ords.t -> t -> unit
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t
+
+(** The mutual-exclusion specification shared by all lock benchmarks:
+    boolean held state, [lock] requires free, [unlock] requires held.
+    [name] labels the spec; [lock_names]/[unlock_names] give the API
+    method names. *)
+val mutex_spec :
+  name:string ->
+  ?accounting:Cdsspec.Spec.accounting ->
+  lock_names:string list ->
+  unlock_names:string list ->
+  unit ->
+  Cdsspec.Spec.packed

@@ -1,0 +1,142 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Il = Cdsspec.Seq_state.Int_list
+open C11.Memory_order
+
+(* Node layout: [next; data]; 0 is NULL. *)
+let f_next node = node
+let f_data node = node + 1
+
+type t = { top : P.loc }
+
+let sites =
+  [
+    Ords.site "push_load_top" For_load Relaxed;
+    (* acq_rel on both CASes: every successful operation synchronizes
+       with the one whose top value it consumed, so the RMW chain on top
+       totally orders the stack's commits — which the strict per-history
+       LIFO specification requires. (The checker found the weaker
+       release-only variant inadequate: a push that does not acquire a
+       preceding pop admits a history interleaving the pop after it.) *)
+    Ords.site "push_cas_top" For_rmw Acq_rel;
+    Ords.site "pop_load_top" For_load Acquire;
+    Ords.site "pop_load_next" For_load Relaxed;
+    Ords.site "pop_cas_top" For_rmw Acq_rel;
+  ]
+
+let create () =
+  let top = P.malloc 1 in
+  P.store Relaxed top 0;
+  { top }
+
+let o = Ords.get
+
+let push ords s value =
+  A.api_proc ~obj:s.top ~name:"push" ~args:[ value ] (fun () ->
+      let n = P.malloc 2 in
+      P.na_store (f_data n) value;
+      let rec attempt () =
+        let t = P.load ~site:"push_load_top" (o ords "push_load_top") s.top in
+        P.store Relaxed (f_next n) t;
+        if P.cas ~site:"push_cas_top" (o ords "push_cas_top") s.top ~expected:t ~desired:n then
+          A.op_define ()
+        else attempt ()
+      in
+      attempt ())
+
+let pop ords s =
+  A.api_fun ~obj:s.top ~name:"pop" ~args:[] (fun () ->
+      let rec attempt () =
+        let t = P.load ~site:"pop_load_top" (o ords "pop_load_top") s.top in
+        A.op_clear_define ();
+        if t = 0 then -1
+        else begin
+          let next = P.load ~site:"pop_load_next" (o ords "pop_load_next") (f_next t) in
+          if P.cas ~site:"pop_cas_top" (o ords "pop_cas_top") s.top ~expected:t ~desired:next then begin
+            A.op_clear_define ();
+            P.na_load (f_data t)
+          end
+          else attempt ()
+        end
+      in
+      attempt ())
+
+let spec =
+  let push_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some (fun st (info : Spec.info) -> (Il.push_front (Cdsspec.Call.arg info.call 0) st, None));
+    }
+  in
+  let pop_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.front st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_front st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret = -1 then s_ret = Some (-1) else true);
+    }
+  in
+  Spec.Packed
+    {
+      name = "treiber-stack";
+      initial = (fun () -> Il.empty);
+      methods = [ ("push", push_spec); ("pop", pop_spec) ];
+      admissibility = [];
+      accounting =
+        { spec_lines = 10; ordering_point_lines = 2; admissibility_lines = 0; api_methods = 2 };
+    }
+
+let test_1push_1pop ords () =
+  let s = create () in
+  let t1 = P.spawn (fun () -> push ords s 1) in
+  let t2 = P.spawn (fun () -> ignore (pop ords s)) in
+  P.join t1;
+  P.join t2
+
+let test_2push_2pop ords () =
+  let s = create () in
+  let t1 =
+    P.spawn (fun () ->
+        push ords s 1;
+        push ords s 2)
+  in
+  let t2 =
+    P.spawn (fun () ->
+        ignore (pop ords s);
+        ignore (pop ords s))
+  in
+  P.join t1;
+  P.join t2
+
+let test_racing_pops ords () =
+  let s = create () in
+  push ords s 1;
+  push ords s 2;
+  let t1 = P.spawn (fun () -> ignore (pop ords s)) in
+  let t2 = P.spawn (fun () -> ignore (pop ords s)) in
+  P.join t1;
+  P.join t2
+
+let benchmark =
+  Benchmark.make ~name:"Treiber Stack" ~spec ~sites
+    [
+      ("1push-1pop", test_1push_1pop);
+      ("2push-2pop", test_2push_2pop);
+      ("racing-pops", test_racing_pops);
+    ]

@@ -1,0 +1,16 @@
+(** Treiber lock-free stack: CAS on a top pointer. An extension beyond
+    the paper's benchmark set, specified the same way as the queues: pop
+    may spuriously report empty, justified by an empty justifying
+    prefix. *)
+
+type t
+
+val create : unit -> t
+val push : Ords.t -> t -> int -> unit
+
+(** -1 when the stack appears empty. *)
+val pop : Ords.t -> t -> int
+
+val sites : Ords.site list
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

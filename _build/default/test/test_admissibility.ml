@@ -1,0 +1,102 @@
+(* Admissibility as a usage contract (paper section 2, "constrain the
+   valid usage patterns"): structures whose specifications carry @Admit
+   rules reject unit tests that break the usage assumptions, with an
+   admissibility violation rather than a confusing assertion failure. *)
+
+module P = Mc.Program
+module E = Mc.Explorer
+module B = Structures.Benchmark
+
+let explore_spec spec program = E.explore ~on_feasible:(Cdsspec.Checker.hook spec) program
+
+let admissibility_violation bugs =
+  List.exists
+    (function Mc.Bug.Spec_violation { kind; _ } -> kind = "admissibility" | _ -> false)
+    bugs
+
+(* SPSC queue used with TWO producers: the enq<->enq rule fires. *)
+let test_spsc_two_producers () =
+  let module Q = Structures.Spsc_queue in
+  let ords = Structures.Ords.default Q.sites in
+  let program () =
+    let q = Q.create () in
+    let p1 = P.spawn (fun () -> Q.enq ords q 1) in
+    let p2 = P.spawn (fun () -> Q.enq ords q 2) in
+    P.join p1;
+    P.join p2
+  in
+  let r = explore_spec Q.spec program in
+  (* misuse surfaces immediately as a data race on the producer-owned
+     tail pointer (a built-in check, which precedes spec checking); the
+     admissibility rule is the backstop for race-free misuse *)
+  Alcotest.(check bool) "two producers rejected" true (r.bugs <> [])
+
+(* ...and with the intended single producer, no violation. *)
+let test_spsc_single_producer_ok () =
+  let module Q = Structures.Spsc_queue in
+  let ords = Structures.Ords.default Q.sites in
+  let program () =
+    let q = Q.create () in
+    let p = P.spawn (fun () -> Q.enq ords q 1) in
+    let c = P.spawn (fun () -> ignore (Q.deq ords q)) in
+    P.join p;
+    P.join c
+  in
+  let r = explore_spec Q.spec program in
+  Alcotest.(check (list string)) "intended usage clean" [] (List.map Mc.Bug.key r.bugs)
+
+(* Chase-Lev deque: push/take must be owner-only; two pushers violate
+   the push<->push rule. *)
+let test_deque_two_owners () =
+  let module D = Structures.Chase_lev_deque in
+  let ords = Structures.Ords.default D.sites in
+  let program () =
+    let q = D.create ~capacity:2 ~init_resize:false () in
+    let o1 = P.spawn (fun () -> D.push ords q 1) in
+    let o2 = P.spawn (fun () -> D.push ords q 2) in
+    P.join o1;
+    P.join o2
+  in
+  let r = explore_spec D.spec program in
+  Alcotest.(check bool) "two owners rejected" true (admissibility_violation r.bugs)
+
+(* RCU: two unsynchronized writers violate the single-updater rule. *)
+let test_rcu_two_writers () =
+  let module R = Structures.Rcu in
+  let ords = Structures.Ords.default R.sites in
+  let program () =
+    let t = R.create () in
+    let w1 = P.spawn (fun () -> R.write ords t 1) in
+    let w2 = P.spawn (fun () -> R.write ords t 2) in
+    P.join w1;
+    P.join w2
+  in
+  let r = explore_spec R.spec program in
+  Alcotest.(check bool) "racing writers rejected" true (admissibility_violation r.bugs)
+
+(* Sequential writers (hb-ordered) are fine. *)
+let test_rcu_sequential_writers_ok () =
+  let module R = Structures.Rcu in
+  let ords = Structures.Ords.default R.sites in
+  let program () =
+    let t = R.create () in
+    R.write ords t 1;
+    let w = P.spawn (fun () -> R.write ords t 2) in
+    P.join w;
+    ignore (R.read ords t)
+  in
+  let r = explore_spec R.spec program in
+  Alcotest.(check (list string)) "sequential writers clean" [] (List.map Mc.Bug.key r.bugs)
+
+let () =
+  Alcotest.run "admissibility"
+    [
+      ( "usage-contracts",
+        [
+          Alcotest.test_case "spsc two producers" `Quick test_spsc_two_producers;
+          Alcotest.test_case "spsc intended usage" `Quick test_spsc_single_producer_ok;
+          Alcotest.test_case "deque two owners" `Quick test_deque_two_owners;
+          Alcotest.test_case "rcu racing writers" `Quick test_rcu_two_writers;
+          Alcotest.test_case "rcu sequential writers" `Quick test_rcu_sequential_writers_ok;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+(* Unit and property tests for the c11 memory-model kit: memory orders,
+   vector clocks, the relation kit, and growable vectors. *)
+
+module Mo = C11.Memory_order
+module Clock = C11.Clock
+module Rel = C11.Relation
+module Vec = C11.Vec
+
+(* ------------------------- memory orders ------------------------- *)
+
+let test_mo_predicates () =
+  Alcotest.(check bool) "seq_cst acquires" true (Mo.is_acquire Mo.Seq_cst);
+  Alcotest.(check bool) "seq_cst releases" true (Mo.is_release Mo.Seq_cst);
+  Alcotest.(check bool) "acquire does not release" false (Mo.is_release Mo.Acquire);
+  Alcotest.(check bool) "release does not acquire" false (Mo.is_acquire Mo.Release);
+  Alcotest.(check bool) "relaxed is neither" false
+    (Mo.is_acquire Mo.Relaxed || Mo.is_release Mo.Relaxed)
+
+let test_mo_validity () =
+  Alcotest.(check bool) "acquire store invalid" false (Mo.valid_for Mo.For_store Mo.Acquire);
+  Alcotest.(check bool) "release load invalid" false (Mo.valid_for Mo.For_load Mo.Release);
+  Alcotest.(check bool) "acq_rel rmw valid" true (Mo.valid_for Mo.For_rmw Mo.Acq_rel);
+  Alcotest.(check bool) "relaxed fence is a no-op but accepted" true
+    (Mo.valid_for Mo.For_fence Mo.Relaxed)
+
+(* weakening chains terminate and stay valid for the kind *)
+let test_mo_weaken_chains () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun start ->
+          let rec chase mo n =
+            Alcotest.(check bool) "valid along chain" true (Mo.valid_for kind mo);
+            Alcotest.(check bool) "chain short" true (n < 6);
+            match Mo.weaken kind mo with
+            | Some weaker ->
+              Alcotest.(check bool) "strictly weaker or incomparable" true
+                (Mo.compare weaker mo < 0);
+              chase weaker (n + 1)
+            | None -> ()
+          in
+          chase start 0)
+        (Mo.all_for kind))
+    [ Mo.For_load; Mo.For_store; Mo.For_rmw; Mo.For_fence ]
+
+let test_mo_string_roundtrip () =
+  List.iter
+    (fun mo -> Alcotest.(check bool) "roundtrip" true (Mo.of_string (Mo.to_string mo) = Some mo))
+    [ Mo.Relaxed; Mo.Acquire; Mo.Release; Mo.Acq_rel; Mo.Seq_cst ]
+
+(* --------------------------- clocks ------------------------------ *)
+
+let clock_of l = List.fold_left (fun c (tid, seq) -> Clock.set c tid seq) Clock.empty l
+
+let clock_gen =
+  QCheck.Gen.(
+    map clock_of (list_size (int_bound 6) (pair (int_bound 4) (int_bound 10))))
+
+let clock_arb = QCheck.make ~print:(fun c -> Fmt.str "%a" Clock.pp c) clock_gen
+
+let prop_join_upper_bound =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:300 (QCheck.pair clock_arb clock_arb)
+    (fun (a, b) ->
+      let j = Clock.join a b in
+      Clock.leq a j && Clock.leq b j)
+
+let prop_join_commutative =
+  QCheck.Test.make ~name:"join commutes" ~count:300 (QCheck.pair clock_arb clock_arb)
+    (fun (a, b) -> Clock.equal (Clock.join a b) (Clock.join b a))
+
+let prop_join_idempotent =
+  QCheck.Test.make ~name:"join idempotent" ~count:300 clock_arb (fun a ->
+      Clock.equal (Clock.join a a) a)
+
+let prop_join_associative =
+  QCheck.Test.make ~name:"join associative" ~count:300
+    (QCheck.triple clock_arb clock_arb clock_arb) (fun (a, b, c) ->
+      Clock.equal (Clock.join a (Clock.join b c)) (Clock.join (Clock.join a b) c))
+
+let prop_set_covers =
+  QCheck.Test.make ~name:"set makes covers true" ~count:300
+    (QCheck.triple clock_arb QCheck.(int_bound 4) QCheck.(int_bound 10)) (fun (c, tid, seq) ->
+      Clock.covers (Clock.set c tid seq) ~tid ~seq)
+
+let test_clock_basics () =
+  let c = Clock.singleton ~tid:2 ~seq:5 in
+  Alcotest.(check bool) "covers own" true (Clock.covers c ~tid:2 ~seq:5);
+  Alcotest.(check bool) "covers earlier" true (Clock.covers c ~tid:2 ~seq:3);
+  Alcotest.(check bool) "not later" false (Clock.covers c ~tid:2 ~seq:6);
+  Alcotest.(check bool) "not other thread" false (Clock.covers c ~tid:1 ~seq:1);
+  Alcotest.(check bool) "empty covers nothing" false (Clock.covers Clock.empty ~tid:0 ~seq:1);
+  Alcotest.(check bool) "set is monotone" true
+    (Clock.get (Clock.set c 2 3) 2 = 5) (* no downgrade *)
+
+(* -------------------------- relations ---------------------------- *)
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let r = Rel.create 4 in
+  Rel.add_edge r 0 1;
+  Rel.add_edge r 0 2;
+  Rel.add_edge r 1 3;
+  Rel.add_edge r 2 3;
+  r
+
+let test_relation_reachability () =
+  let r = diamond () in
+  Alcotest.(check bool) "0 -> 3" true (Rel.reachable r 0 3);
+  Alcotest.(check bool) "3 -/-> 0" false (Rel.reachable r 3 0);
+  Alcotest.(check bool) "1 and 2 unordered" false (Rel.ordered r 1 2);
+  Alcotest.(check bool) "acyclic" true (Rel.is_acyclic r);
+  Alcotest.(check (list int)) "down set of 3" [ 0; 1; 2 ] (List.sort compare (Rel.down_set r 3))
+
+let test_relation_cycle () =
+  let r = Rel.create 3 in
+  Rel.add_edge r 0 1;
+  Rel.add_edge r 1 2;
+  Rel.add_edge r 2 0;
+  Alcotest.(check bool) "cyclic" false (Rel.is_acyclic r)
+
+let test_topological_sorts_diamond () =
+  let r = diamond () in
+  let sorts, truncated = Rel.topological_sorts ~nodes:[ 0; 1; 2; 3 ] r in
+  Alcotest.(check bool) "not truncated" false truncated;
+  Alcotest.(check int) "two linear extensions" 2 (List.length sorts);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "0 first" true (List.hd s = 0);
+      Alcotest.(check bool) "3 last" true (List.nth s 3 = 3))
+    sorts
+
+let test_topological_sorts_empty_order () =
+  let r = Rel.create 4 in
+  let sorts, _ = Rel.topological_sorts ~nodes:[ 0; 1; 2; 3 ] r in
+  Alcotest.(check int) "4! extensions" 24 (List.length sorts)
+
+let test_topological_sorts_truncation () =
+  let r = Rel.create 6 in
+  let sorts, truncated = Rel.topological_sorts ~max:10 ~nodes:[ 0; 1; 2; 3; 4; 5 ] r in
+  Alcotest.(check bool) "truncated" true truncated;
+  Alcotest.(check int) "capped" 10 (List.length sorts)
+
+let test_topological_sorts_sampled () =
+  let r = diamond () in
+  let sorts, _ = Rel.topological_sorts ~sample:(20, 7) ~nodes:[ 0; 1; 2; 3 ] r in
+  Alcotest.(check int) "20 samples" 20 (List.length sorts);
+  (* samples are valid linear extensions *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "respects edges" true
+        (List.hd s = 0 && List.nth s 3 = 3))
+    sorts
+
+(* random DAG: edges only i -> j for i < j, so always acyclic *)
+let dag_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 6 in
+    let* edges = list_size (int_bound 10) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+    return (n, List.filter (fun (a, b) -> a < b) edges))
+
+let dag_arb =
+  QCheck.make
+    ~print:(fun (n, e) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) e)))
+    dag_gen
+
+let build_dag (n, edges) =
+  let r = Rel.create n in
+  List.iter (fun (a, b) -> Rel.add_edge r a b) edges;
+  r
+
+let prop_sorts_respect_order =
+  QCheck.Test.make ~name:"every sort is a linear extension" ~count:200 dag_arb (fun (n, edges) ->
+      let r = build_dag (n, edges) in
+      let nodes = List.init n (fun i -> i) in
+      let sorts, _ = Rel.topological_sorts ~max:500 ~nodes r in
+      List.for_all
+        (fun sort ->
+          List.for_all
+            (fun (a, b) ->
+              let pos x =
+                let rec go i = function
+                  | [] -> -1
+                  | y :: tl -> if x = y then i else go (i + 1) tl
+                in
+                go 0 sort
+              in
+              pos a < pos b)
+            edges
+          && List.sort compare sort = nodes)
+        sorts)
+
+let prop_sorts_distinct =
+  QCheck.Test.make ~name:"sorts are pairwise distinct" ~count:100 dag_arb (fun (n, edges) ->
+      let r = build_dag (n, edges) in
+      let nodes = List.init n (fun i -> i) in
+      let sorts, _ = Rel.topological_sorts ~max:500 ~nodes r in
+      List.length (List.sort_uniq compare sorts) = List.length sorts)
+
+let prop_down_set_closed =
+  QCheck.Test.make ~name:"down sets are downward closed" ~count:200 dag_arb (fun (n, edges) ->
+      let r = build_dag (n, edges) in
+      List.for_all
+        (fun node ->
+          let ds = Rel.down_set r node in
+          List.for_all (fun x -> List.for_all (fun (a, b) -> b <> x || List.mem a ds) edges) ds)
+        (List.init n (fun i -> i)))
+
+(* ----------------------------- vec ------------------------------- *)
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  Vec.set v 42 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Vec.truncate v 10;
+  Alcotest.(check int) "truncate" 10 (Vec.length v);
+  Alcotest.(check (list int)) "to_list prefix" [ 0; 1; 2 ]
+    (List.filteri (fun i _ -> i < 3) (Vec.to_list v))
+
+let test_vec_fold_right_while () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3; 4; 5 ];
+  (* sum from the right, stop when the element is 2 *)
+  let sum =
+    Vec.fold_right_while (fun _ x acc -> if x = 2 then `Stop acc else `Continue (acc + x)) v 0
+  in
+  Alcotest.(check int) "stopped early" (3 + 4 + 5) sum
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "c11"
+    [
+      ( "memory-order",
+        [
+          Alcotest.test_case "predicates" `Quick test_mo_predicates;
+          Alcotest.test_case "validity" `Quick test_mo_validity;
+          Alcotest.test_case "weaken chains" `Quick test_mo_weaken_chains;
+          Alcotest.test_case "string roundtrip" `Quick test_mo_string_roundtrip;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "basics" `Quick test_clock_basics;
+          qt prop_join_upper_bound;
+          qt prop_join_commutative;
+          qt prop_join_idempotent;
+          qt prop_join_associative;
+          qt prop_set_covers;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "reachability" `Quick test_relation_reachability;
+          Alcotest.test_case "cycle" `Quick test_relation_cycle;
+          Alcotest.test_case "diamond sorts" `Quick test_topological_sorts_diamond;
+          Alcotest.test_case "empty order" `Quick test_topological_sorts_empty_order;
+          Alcotest.test_case "truncation" `Quick test_topological_sorts_truncation;
+          Alcotest.test_case "sampling" `Quick test_topological_sorts_sampled;
+          qt prop_sorts_respect_order;
+          qt prop_sorts_distinct;
+          qt prop_down_set_closed;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec;
+          Alcotest.test_case "fold_right_while" `Quick test_vec_fold_right_while;
+        ] );
+    ]

@@ -1,0 +1,16 @@
+(* Run the whole litmus corpus: every allowed outcome must be observed,
+   no forbidden outcome may appear. *)
+
+let test_one (t : Litmus.t) () =
+  let r = Litmus.run t in
+  if not (Litmus.ok r) then
+    Alcotest.failf "%s: %a" t.name Litmus.pp_result r;
+  Alcotest.(check bool) (t.name ^ " feasible") true (r.feasible > 0)
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ( "corpus",
+        List.map (fun (t : Litmus.t) -> Alcotest.test_case t.name `Quick (test_one t)) Litmus.all
+      );
+    ]

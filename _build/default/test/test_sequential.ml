@@ -1,0 +1,297 @@
+(* Single-threaded conformance: driven by one thread, each structure is
+   deterministic and must agree exactly with its sequential model on
+   random operation sequences. This exercises the implementations (and
+   the DSL they are written against) independently of weak-memory
+   effects. *)
+
+module P = Mc.Program
+module E = Mc.Explorer
+module Il = Cdsspec.Seq_state.Int_list
+
+let run_single_threaded program =
+  (* a single-threaded program has exactly one schedule; reads-from
+     choices remain (coherence can still offer stale values on relaxed
+     reads in general), so model-check exhaustively and require every
+     feasible execution to agree *)
+  let r = E.explore program in
+  Alcotest.(check (list string)) "no bugs" [] (List.map Mc.Bug.key r.bugs);
+  r
+
+(* ------------------------------ queues --------------------------- *)
+
+type queue_op = Enq of int | Deq
+
+let queue_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (frequency [ (2, map (fun v -> Enq (v + 1)) (int_bound 8)); (1, return Deq) ]))
+
+let queue_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function Enq v -> Printf.sprintf "enq %d" v | Deq -> "deq") ops))
+    queue_ops_gen
+
+let fifo_model ops =
+  let rec go q acc = function
+    | [] -> List.rev acc
+    | Enq v :: rest -> go (q @ [ v ]) acc rest
+    | Deq :: rest -> (
+      match q with
+      | [] -> go [] ((-1) :: acc) rest
+      | v :: q -> go q (v :: acc) rest)
+  in
+  go [] [] ops
+
+let check_queue_model ~enq ~deq ~create ops =
+  let results = ref [] in
+  let ok = ref true in
+  let program () =
+    let q = create () in
+    results := [];
+    List.iter
+      (function
+        | Enq v -> enq q v
+        | Deq -> results := deq q :: !results)
+      ops
+  in
+  let _ =
+    E.explore
+      ~on_feasible:(fun _ _ ->
+        if List.rev !results <> fifo_model ops then ok := false;
+        [])
+      program
+  in
+  !ok
+
+let prop_blocking_queue_sequential =
+  let ords = Structures.Ords.default Structures.Blocking_queue.sites in
+  QCheck.Test.make ~name:"blocking queue = sequential FIFO (single thread)" ~count:60
+    queue_ops_arb
+    (check_queue_model
+       ~enq:(fun q v -> Structures.Blocking_queue.enq ords q v)
+       ~deq:(fun q -> Structures.Blocking_queue.deq ords q)
+       ~create:Structures.Blocking_queue.create)
+
+let prop_ms_queue_sequential =
+  let ords = Structures.Ords.default Structures.Ms_queue.sites in
+  QCheck.Test.make ~name:"M&S queue = sequential FIFO (single thread)" ~count:40 queue_ops_arb
+    (check_queue_model
+       ~enq:(fun q v -> Structures.Ms_queue.enq ords q v)
+       ~deq:(fun q -> Structures.Ms_queue.deq ords q)
+       ~create:Structures.Ms_queue.create)
+
+let prop_mpmc_queue_sequential =
+  let ords = Structures.Ords.default Structures.Mpmc_queue.sites in
+  QCheck.Test.make ~name:"MPMC queue = sequential FIFO (single thread)" ~count:40 queue_ops_arb
+    (fun ops ->
+      (* capacity 8 >= max enqueues so the FIFO model applies *)
+      check_queue_model
+        ~enq:(fun q v -> ignore (Structures.Mpmc_queue.enq ords q v))
+        ~deq:(fun q -> Structures.Mpmc_queue.deq ords q)
+        ~create:(fun () -> Structures.Mpmc_queue.create 8)
+        ops)
+
+(* ------------------------------ deque ---------------------------- *)
+
+type deque_op = Push of int | Take
+
+let deque_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function Push v -> Printf.sprintf "push %d" v | Take -> "take") ops))
+    QCheck.Gen.(
+      list_size (int_range 1 6)
+        (frequency [ (2, map (fun v -> Push (v + 1)) (int_bound 8)); (1, return Take) ]))
+
+let lifo_model ops =
+  let rec go stack acc = function
+    | [] -> List.rev acc
+    | Push v :: rest -> go (v :: stack) acc rest
+    | Take :: rest -> (
+      match stack with
+      | [] -> go [] ((-1) :: acc) rest
+      | v :: stack -> go stack (v :: acc) rest)
+  in
+  go [] [] ops
+
+let prop_chase_lev_owner_sequential =
+  let ords = Structures.Ords.default Structures.Chase_lev_deque.sites in
+  QCheck.Test.make ~name:"Chase-Lev owner ops = LIFO (single thread)" ~count:40 deque_ops_arb
+    (fun ops ->
+      let results = ref [] in
+      let ok = ref true in
+      let program () =
+        let q = Structures.Chase_lev_deque.create ~capacity:2 ~init_resize:false () in
+        results := [];
+        List.iter
+          (function
+            | Push v -> Structures.Chase_lev_deque.push ords q v
+            | Take -> results := Structures.Chase_lev_deque.take ords q :: !results)
+          ops
+      in
+      let _ =
+        E.explore
+          ~on_feasible:(fun _ _ ->
+            if List.rev !results <> lifo_model ops then ok := false;
+            [])
+          program
+      in
+      !ok)
+
+(* --------------------------- locks ------------------------------- *)
+
+let test_ticket_lock_sequential () =
+  let ords = Structures.Ords.default Structures.Ticket_lock.sites in
+  let program () =
+    let l = Structures.Ticket_lock.create () in
+    for _ = 1 to 3 do
+      Structures.Ticket_lock.lock ords l;
+      Structures.Ticket_lock.unlock ords l
+    done
+  in
+  ignore (run_single_threaded program)
+
+let test_mcs_lock_sequential () =
+  let ords = Structures.Ords.default Structures.Mcs_lock.sites in
+  let program () =
+    let l = Structures.Mcs_lock.create () in
+    for _ = 1 to 3 do
+      let me = Structures.Mcs_lock.make_node () in
+      Structures.Mcs_lock.lock ords l me;
+      Structures.Mcs_lock.unlock ords l me
+    done
+  in
+  ignore (run_single_threaded program)
+
+let test_rwlock_sequential () =
+  let ords = Structures.Ords.default Structures.Linux_rwlock.sites in
+  let program () =
+    let l = Structures.Linux_rwlock.create () in
+    Structures.Linux_rwlock.read_lock ords l;
+    Structures.Linux_rwlock.read_unlock ords l;
+    Structures.Linux_rwlock.write_lock ords l;
+    Structures.Linux_rwlock.write_unlock ords l;
+    let r = Structures.Linux_rwlock.write_trylock ords l in
+    P.check (r = 1) "uncontended trylock succeeds";
+    Structures.Linux_rwlock.write_unlock ords l
+  in
+  ignore (run_single_threaded program)
+
+(* --------------------------- hashtable --------------------------- *)
+
+type ht_op = Put of int * int | Get of int
+
+let ht_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Put (k, v) -> Printf.sprintf "put %d %d" k v
+             | Get k -> Printf.sprintf "get %d" k)
+           ops))
+    QCheck.Gen.(
+      list_size (int_range 1 5)
+        (frequency
+           [
+             (2, map2 (fun k v -> Put (k + 1, v + 1)) (int_bound 2) (int_bound 8));
+             (1, map (fun k -> Get (k + 1)) (int_bound 2));
+           ]))
+
+let ht_model ops =
+  let module M = Map.Make (Int) in
+  let rec go m acc = function
+    | [] -> List.rev acc
+    | Put (k, v) :: rest -> go (M.add k v m) acc rest
+    | Get k :: rest -> go m ((match M.find_opt k m with Some v -> v | None -> 0) :: acc) rest
+  in
+  go M.empty [] ops
+
+let prop_hashtable_sequential =
+  let ords = Structures.Ords.default Structures.Lockfree_hashtable.sites in
+  QCheck.Test.make ~name:"hashtable = sequential map (single thread)" ~count:40 ht_ops_arb
+    (fun ops ->
+      let results = ref [] in
+      let ok = ref true in
+      let program () =
+        let t = Structures.Lockfree_hashtable.create 4 in
+        results := [];
+        List.iter
+          (function
+            | Put (k, v) -> Structures.Lockfree_hashtable.put ords t ~key:k ~value:v
+            | Get k -> results := Structures.Lockfree_hashtable.get ords t ~key:k :: !results)
+          ops
+      in
+      let _ =
+        E.explore
+          ~on_feasible:(fun _ _ ->
+            if List.rev !results <> ht_model ops then ok := false;
+            [])
+          program
+      in
+      !ok)
+
+(* --------------------------- seqlock/rcu ------------------------- *)
+
+let test_seqlock_sequential () =
+  let ords = Structures.Ords.default Structures.Seqlock.sites in
+  let program () =
+    let l = Structures.Seqlock.create () in
+    P.check (Structures.Seqlock.read ords l = 0) "initial snapshot";
+    Structures.Seqlock.write ords l 3;
+    P.check (Structures.Seqlock.read ords l = (3 * 16) + 3) "snapshot after write"
+  in
+  ignore (run_single_threaded program)
+
+let test_rcu_sequential () =
+  let ords = Structures.Ords.default Structures.Rcu.sites in
+  let program () =
+    let t = Structures.Rcu.create () in
+    P.check (Structures.Rcu.read ords t = 0) "initial";
+    Structures.Rcu.write ords t 5;
+    P.check (Structures.Rcu.read ords t = 5) "after write"
+  in
+  ignore (run_single_threaded program)
+
+let test_spsc_sequential () =
+  let ords = Structures.Ords.default Structures.Spsc_queue.sites in
+  let program () =
+    let q = Structures.Spsc_queue.create () in
+    P.check (Structures.Spsc_queue.deq ords q = -1) "empty";
+    Structures.Spsc_queue.enq ords q 1;
+    Structures.Spsc_queue.enq ords q 2;
+    P.check (Structures.Spsc_queue.deq ords q = 1) "fifo 1";
+    P.check (Structures.Spsc_queue.deq ords q = 2) "fifo 2";
+    P.check (Structures.Spsc_queue.deq ords q = -1) "empty again"
+  in
+  ignore (run_single_threaded program)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sequential-conformance"
+    [
+      ( "queues",
+        [
+          qt prop_blocking_queue_sequential;
+          qt prop_ms_queue_sequential;
+          qt prop_mpmc_queue_sequential;
+          Alcotest.test_case "spsc" `Quick test_spsc_sequential;
+        ] );
+      ("deque", [ qt prop_chase_lev_owner_sequential ]);
+      ( "locks",
+        [
+          Alcotest.test_case "ticket" `Quick test_ticket_lock_sequential;
+          Alcotest.test_case "mcs" `Quick test_mcs_lock_sequential;
+          Alcotest.test_case "rwlock" `Quick test_rwlock_sequential;
+        ] );
+      ("hashtable", [ qt prop_hashtable_sequential ]);
+      ( "snapshots",
+        [
+          Alcotest.test_case "seqlock" `Quick test_seqlock_sequential;
+          Alcotest.test_case "rcu" `Quick test_rcu_sequential;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Complement to the detection tests: the non-deterministic behaviours
+   the specifications ALLOW must actually be observable — i.e. the
+   explorer does not over-prune. Each case enumerates an operation's
+   outcomes across all feasible executions and checks both the strong and
+   the weak result occur. *)
+
+module P = Mc.Program
+module E = Mc.Explorer
+module B = Structures.Benchmark
+
+let collect_outcomes ~ords ~spec ~observe program =
+  let acc = ref [] in
+  let r =
+    E.explore
+      ~on_feasible:(fun exec annots ->
+        let o = observe () in
+        if not (List.mem o !acc) then acc := o :: !acc;
+        Cdsspec.Checker.hook spec exec annots)
+      program
+  in
+  Alcotest.(check (list string)) "spec holds" [] (List.map Mc.Bug.key r.bugs);
+  ignore ords;
+  List.sort compare !acc
+
+let test_queue_spurious_empty () =
+  let module Q = Structures.Blocking_queue in
+  let ords = Structures.Ords.default Q.sites in
+  let seen = ref 99 in
+  let program () =
+    let q = Q.create () in
+    let t1 = P.spawn (fun () -> Q.enq ords q 1) in
+    let t2 = P.spawn (fun () -> seen := Q.deq ords q) in
+    P.join t1;
+    P.join t2
+  in
+  let outs = collect_outcomes ~ords ~spec:Q.spec ~observe:(fun () -> !seen) program in
+  Alcotest.(check (list int)) "both empty and hit observed" [ -1; 1 ] outs
+
+let test_ms_queue_spurious_empty () =
+  let module Q = Structures.Ms_queue in
+  let ords = Structures.Ords.default Q.sites in
+  let seen = ref 99 in
+  let program () =
+    let q = Q.create () in
+    let t1 = P.spawn (fun () -> Q.enq ords q 1) in
+    let t2 = P.spawn (fun () -> seen := Q.deq ords q) in
+    P.join t1;
+    P.join t2
+  in
+  let outs = collect_outcomes ~ords ~spec:Q.spec ~observe:(fun () -> !seen) program in
+  Alcotest.(check (list int)) "both empty and hit observed" [ -1; 1 ] outs
+
+let test_register_weakness () =
+  let module R = Structures.Atomic_register in
+  let ords = Structures.Ords.default R.sites in
+  let seen = ref 99 in
+  let program () =
+    let r = R.create () in
+    let t1 = P.spawn (fun () -> R.write ords r 1) in
+    let t2 = P.spawn (fun () -> seen := R.read ords r) in
+    P.join t1;
+    P.join t2
+  in
+  let outs = collect_outcomes ~ords ~spec:R.spec ~observe:(fun () -> !seen) program in
+  Alcotest.(check (list int)) "stale and fresh observed" [ 0; 1 ] outs
+
+let test_treiber_spurious_empty () =
+  let module S = Structures.Treiber_stack in
+  let ords = Structures.Ords.default S.sites in
+  let seen = ref 99 in
+  let program () =
+    let s = S.create () in
+    let t1 = P.spawn (fun () -> S.push ords s 1) in
+    let t2 = P.spawn (fun () -> seen := S.pop ords s) in
+    P.join t1;
+    P.join t2
+  in
+  let outs = collect_outcomes ~ords ~spec:S.spec ~observe:(fun () -> !seen) program in
+  Alcotest.(check (list int)) "both empty and hit observed" [ -1; 1 ] outs
+
+let test_seqlock_old_and_new_snapshots () =
+  let module L = Structures.Seqlock in
+  let ords = Structures.Ords.default L.sites in
+  let seen = ref 99 in
+  let program () =
+    let l = L.create () in
+    let t1 = P.spawn (fun () -> L.write ords l 1) in
+    let t2 = P.spawn (fun () -> seen := L.read ords l) in
+    P.join t1;
+    P.join t2
+  in
+  let outs = collect_outcomes ~ords ~spec:L.spec ~observe:(fun () -> !seen) program in
+  (* packed snapshots: initial (0,0) -> 0, fresh (1,1) -> 17 *)
+  Alcotest.(check (list int)) "old and new snapshots" [ 0; 17 ] outs
+
+let test_steal_take_race_outcomes () =
+  (* the single element goes to exactly one of take/steal, and both
+     assignments occur across executions *)
+  let module D = Structures.Chase_lev_deque in
+  let ords = Structures.Ords.default D.sites in
+  let take_got = ref 99 and steal_got = ref 99 in
+  let program () =
+    let q = D.create ~capacity:2 ~init_resize:false () in
+    D.push ords q 1;
+    let thief = P.spawn (fun () -> steal_got := D.steal ords q) in
+    take_got := D.take ords q;
+    P.join thief
+  in
+  let outs =
+    collect_outcomes ~ords ~spec:D.spec ~observe:(fun () -> (!take_got, !steal_got)) program
+  in
+  Alcotest.(check bool) "take can win" true (List.mem (1, -1) outs);
+  Alcotest.(check bool) "steal can win" true (List.mem (-1, 1) outs);
+  Alcotest.(check bool) "element never duplicated" false (List.mem (1, 1) outs)
+
+let test_rcu_old_and_new () =
+  let module R = Structures.Rcu in
+  let ords = Structures.Ords.default R.sites in
+  let seen = ref 99 in
+  let program () =
+    let t = R.create () in
+    let w = P.spawn (fun () -> R.write ords t 1) in
+    let r = P.spawn (fun () -> seen := R.read ords t) in
+    P.join w;
+    P.join r
+  in
+  let outs = collect_outcomes ~ords ~spec:R.spec ~observe:(fun () -> !seen) program in
+  Alcotest.(check (list int)) "old and new versions" [ 0; 1 ] outs
+
+let () =
+  Alcotest.run "weak-behaviors"
+    [
+      ( "observable",
+        [
+          Alcotest.test_case "queue spurious empty" `Quick test_queue_spurious_empty;
+          Alcotest.test_case "ms queue spurious empty" `Quick test_ms_queue_spurious_empty;
+          Alcotest.test_case "register staleness" `Quick test_register_weakness;
+          Alcotest.test_case "treiber spurious empty" `Quick test_treiber_spurious_empty;
+          Alcotest.test_case "seqlock snapshots" `Quick test_seqlock_old_and_new_snapshots;
+          Alcotest.test_case "steal/take race" `Quick test_steal_take_race_outcomes;
+          Alcotest.test_case "rcu versions" `Quick test_rcu_old_and_new;
+        ] );
+    ]

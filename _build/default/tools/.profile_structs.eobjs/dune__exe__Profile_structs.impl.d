@@ -1,0 +1,1 @@
+tools/profile_structs.ml: Array Cdsspec Format List Mc Printf Structures Sys Unix

@@ -1,0 +1,1 @@
+tools/profile_structs.mli:

@@ -1,0 +1,1 @@
+tools/seqlock_inject.ml: Array Cdsspec List Mc Printf String Structures Sys

@@ -1,0 +1,1 @@
+tools/seqlock_inject.mli:

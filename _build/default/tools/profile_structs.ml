@@ -1,0 +1,27 @@
+module E = Mc.Explorer
+module B = Structures.Benchmark
+
+let () =
+  let names = if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) else [] in
+  let benches =
+    if names = [] then Structures.Registry.all
+    else List.filter_map Structures.Registry.find names
+  in
+  List.iter
+    (fun (b : B.t) ->
+      List.iter
+        (fun (t : B.test) ->
+          let t0 = Unix.gettimeofday () in
+          let r =
+            E.explore
+              ~config:{ E.default_config with scheduler = b.scheduler;
+                        max_executions = Some 200000 }
+              ~on_feasible:(Cdsspec.Checker.hook b.spec)
+              (t.program (Structures.Ords.default b.sites))
+          in
+          Printf.printf "%-18s %-16s explored=%7d feasible=%7d bugs=%d trunc=%b %.2fs\n%!"
+            b.name t.test_name r.stats.explored r.stats.feasible (List.length r.bugs)
+            r.stats.truncated (Unix.gettimeofday () -. t0);
+          List.iter (fun bug -> Format.printf "    %a@." Mc.Bug.pp bug) r.bugs)
+        b.tests)
+    benches

@@ -1,0 +1,32 @@
+(* Per-site injection probe: tools/seqlock_inject.exe "<benchmark name>" *)
+module E = Mc.Explorer
+module B = Structures.Benchmark
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "Seqlock" in
+  match Structures.Registry.find name with
+  | None -> prerr_endline ("unknown benchmark " ^ name)
+  | Some b ->
+    List.iter
+      (fun (s : Structures.Ords.site) ->
+        match Structures.Ords.weakened b.sites s.name with
+        | None -> ()
+        | Some ords ->
+          let detected =
+            List.filter_map
+              (fun (t : B.test) ->
+                let r =
+                  E.explore
+                    ~config:
+                      { E.default_config with scheduler = b.scheduler; max_executions = Some 150_000 }
+                    ~on_feasible:(Cdsspec.Checker.hook b.spec)
+                    (t.program ords)
+                in
+                match r.bugs with
+                | [] -> None
+                | bug :: _ -> Some (t.test_name ^ ":" ^ Mc.Bug.key bug))
+              b.tests
+          in
+          Printf.printf "%-24s %s\n%!" s.name
+            (match detected with [] -> "UNDETECTED" | l -> String.concat " " l))
+      (Structures.Ords.weakenable b.sites)
