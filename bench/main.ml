@@ -2,13 +2,17 @@
    (section 6), plus the ablations called out in DESIGN.md.
 
    Usage:
-     bench/main.exe            run everything (fig7 fig8 expr known ablation)
+     bench/main.exe            run everything (fig7 fig8 expr known ablation timing)
      bench/main.exe fig7       Figure 7  — benchmark results
      bench/main.exe fig8       Figure 8  — bug-injection detection
      bench/main.exe expr       section 6.2 expressiveness statistics
      bench/main.exe known      section 6.4.1 known bugs
      bench/main.exe ablation   design-choice ablations
-     bench/main.exe timing     Bechamel timing (one Test per Figure-7 row) *)
+     bench/main.exe timing     wall-clock timing per Figure-7 row; writes BENCH_PR1.json
+
+   `--jobs N` (or CDSSPEC_JOBS=N) runs every exploration on N domains;
+   0 means one per recommended core. The timing job records the jobs
+   count in BENCH_PR1.json so perf trajectories are comparable. *)
 
 module E = Mc.Explorer
 module B = Structures.Benchmark
@@ -49,16 +53,21 @@ let extra_benches =
 
 let section title = Format.printf "@.== %s ==@.@." title
 
+(* Set once from --jobs/CDSSPEC_JOBS before any job runs. *)
+let jobs = ref 1
+
+let limits () = { X.default_limits with jobs = !jobs }
+
 let run_fig7 () =
   section "Figure 7: benchmark results (paper: all rows finish within seconds)";
-  let rows = X.figure7 fig7_benches in
+  let rows = X.figure7 ~limits:(limits ()) fig7_benches in
   X.pp_figure7 Format.std_formatter rows;
   Format.printf "@.Extensions (not in the paper's table):@.";
-  X.pp_figure7 Format.std_formatter (X.figure7 extra_benches)
+  X.pp_figure7 Format.std_formatter (X.figure7 ~limits:(limits ()) extra_benches)
 
 let run_fig8 () =
   section "Figure 8: bug-injection detection (paper: 93%% overall, MPMC the outlier)";
-  let rows = X.figure8 fig7_benches in
+  let rows = X.figure8 ~limits:(limits ()) fig7_benches in
   X.pp_figure8 Format.std_formatter rows;
   (match X.undetected rows with
   | [] -> Format.printf "@.No undetected injections.@."
@@ -67,7 +76,7 @@ let run_fig8 () =
       "@.Undetected injections (candidate overly-strong parameters, cf. section 6.4.3):@.";
     List.iter (fun (b, s) -> Format.printf "  %-22s %s@." b s) l);
   Format.printf "@.Extensions (not in the paper's table):@.";
-  X.pp_figure8 Format.std_formatter (X.figure8 extra_benches)
+  X.pp_figure8 Format.std_formatter (X.figure8 ~limits:(limits ()) extra_benches)
 
 let run_expr () =
   section "Section 6.2: expressiveness statistics";
@@ -78,7 +87,7 @@ let run_expr () =
 
 let run_known () =
   section "Section 6.4.1: known bugs (paper: 3 known bugs detected)";
-  X.pp_known_bugs Format.std_formatter (X.known_bugs ())
+  X.pp_known_bugs Format.std_formatter (X.known_bugs ~limits:(limits ()) ())
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -155,48 +164,108 @@ let run_ablation () =
   ablation_loop_bound ()
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel timing: one Test.make per Figure-7 row, measuring a full
-   model-checking run of the benchmark's first unit test.              *)
+(* Timing: wall-clock per Figure-7 row (full exploration of the first
+   unit test, the same workload the old Bechamel harness staged), under
+   the requested number of domains, emitted both as a table and as the
+   machine-readable BENCH_PR1.json perf-trajectory point. Later PRs add
+   BENCH_PR<n>.json and diff executions/sec against this file.         *)
 
-let bechamel_tests () =
-  let open Bechamel in
-  let test_of (b : B.t) =
-    let t = List.hd b.tests in
-    let ords = Structures.Ords.default b.sites in
-    Test.make ~name:b.name
-      (Staged.stage (fun () ->
-           ignore
-             (E.explore
-                ~config:{ E.default_config with scheduler = b.scheduler }
-                ~on_feasible:(Cdsspec.Checker.hook b.spec)
-                (t.program ords))))
+type timing_row = {
+  bench : string;
+  test : string;
+  wall_s : float;
+  explored : int;
+  feasible : int;
+  execs_per_sec : float;
+}
+
+let time_one (b : B.t) =
+  let t = List.hd b.tests in
+  let ords = Structures.Ords.default b.sites in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Mc.Parallel.explore ~jobs:!jobs
+      ~config:{ E.default_config with scheduler = b.scheduler }
+      ~on_feasible:(Cdsspec.Checker.hook b.spec)
+      (t.program ords)
   in
-  Test.make_grouped ~name:"figure7" (List.map test_of (fig7_benches @ extra_benches))
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    bench = b.name;
+    test = t.test_name;
+    wall_s = wall;
+    explored = r.stats.explored;
+    feasible = r.stats.feasible;
+    execs_per_sec = (if wall > 0. then float_of_int r.stats.explored /. wall else 0.);
+  }
+
+let bench_json_file = "BENCH_PR1.json"
+
+let write_bench_json rows =
+  let path =
+    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> bench_json_file
+  in
+  let oc = open_out path in
+  let total = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
+  Printf.fprintf oc "{\n  \"pr\": 1,\n  \"jobs\": %d,\n  \"total_wall_s\": %.3f,\n  \"benchmarks\": [\n"
+    !jobs total;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"test\": %S, \"wall_s\": %.4f, \"explored\": %d, \"feasible\": %d, \
+         \"execs_per_sec\": %.1f}%s\n"
+        r.bench r.test r.wall_s r.explored r.feasible r.execs_per_sec
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (jobs=%d)@." path !jobs
 
 let run_timing () =
-  section "Bechamel: per-benchmark model-checking latency (first unit test)";
-  let open Bechamel in
-  let open Toolkit in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false () in
-  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Format.printf "%-34s %14s@." "Benchmark" "time/run";
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] ->
-        let ms = est /. 1e6 in
-        Format.printf "%-34s %11.2f ms@." name ms
-      | _ -> Format.printf "%-34s %14s@." name "n/a")
-    results
+  section
+    (Printf.sprintf "Timing: full exploration of each first unit test (jobs=%d)" !jobs);
+  Format.printf "%-24s %-16s %10s %10s %10s %14s@." "Benchmark" "Test" "wall (s)" "explored"
+    "feasible" "execs/sec";
+  let rows =
+    List.map
+      (fun b ->
+        let r = time_one b in
+        Format.printf "%-24s %-16s %10.3f %10d %10d %14.1f@." r.bench r.test r.wall_s r.explored
+          r.feasible r.execs_per_sec;
+        r)
+      (fig7_benches @ extra_benches)
+  in
+  write_bench_json rows
 
 let () =
-  let jobs =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing" ]
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* split --jobs N / --jobs=N / -j N off the job-name list *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | [ ("--jobs" | "-j") ] -> failwith "--jobs: missing value"
+    | ("--jobs" | "-j") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n ->
+        jobs := (if n <= 0 then Domain.recommended_domain_count () else n);
+        parse acc rest
+      | None -> failwith ("--jobs: not an integer: " ^ n))
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      let n = String.sub arg 7 (String.length arg - 7) in
+      match int_of_string_opt n with
+      | Some n ->
+        jobs := (if n <= 0 then Domain.recommended_domain_count () else n);
+        parse acc rest
+      | None -> failwith ("--jobs=: not an integer: " ^ n))
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  (match Harness.Experiments.jobs_of_env () with
+  | n -> jobs := n
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    exit 2);
+  let names = try parse [] args with Failure msg -> prerr_endline msg; exit 2 in
+  let names =
+    if names = [] then [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing" ] else names
   in
   List.iter
     (fun job ->
@@ -208,4 +277,4 @@ let () =
       | "ablation" -> run_ablation ()
       | "timing" -> run_timing ()
       | other -> Format.printf "unknown job %S (fig7|fig8|expr|known|ablation|timing)@." other)
-    jobs
+    names

@@ -63,7 +63,7 @@ let litmus_cmd filter =
     if !all_ok then `Ok else `Bug
   end
 
-let check_cmd name test_filter weaken overrides max_execs verbose dot =
+let check_cmd name test_filter weaken overrides max_execs verbose dot jobs =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
@@ -81,7 +81,7 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot =
         List.iter
           (fun (t : B.test) ->
             let r =
-              E.explore
+              Mc.Parallel.explore ~jobs
                 ~config:
                   { E.default_config with scheduler = b.scheduler; max_executions = max_execs }
                 ~on_feasible:(Cdsspec.Checker.hook b.spec)
@@ -107,11 +107,12 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot =
         if !any_bug then `Bug else `Ok
       end)
 
-let inject_cmd name =
+let inject_cmd name jobs =
   match find_bench name with
   | Error e -> e
   | Ok b ->
-    let rows = Harness.Experiments.figure8 [ b ] in
+    let limits = { Harness.Experiments.default_limits with jobs } in
+    let rows = Harness.Experiments.figure8 ~limits [ b ] in
     List.iter
       (fun (r : Harness.Experiments.fig8_row) ->
         List.iter
@@ -152,6 +153,15 @@ let ord_conv =
   let print ppf (site, order) = Format.fprintf ppf "%s=%a" site C11.Memory_order.pp order in
   Arg.conv (parse, print)
 
+(* 0 means "one domain per recommended core"; the default comes from
+   CDSSPEC_JOBS so scripted sweeps can set parallelism globally. *)
+let jobs_term =
+  let doc = "Explore with $(docv) parallel domains (0 = one per core)." in
+  Term.(
+    const (fun j -> if j <= 0 then Domain.recommended_domain_count () else j)
+    $ Arg.(
+        value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "CDSSPEC_JOBS") ~doc))
+
 let check_term =
   let test =
     Arg.(value & opt (some string) None & info [ "t"; "test" ] ~docv:"TEST" ~doc:"Run only this unit test.")
@@ -180,9 +190,9 @@ let check_term =
       & info [ "dot" ] ~docv:"FILE" ~doc:"Write the first buggy execution graph as Graphviz DOT.")
   in
   Term.(
-    const (fun name test weaken overrides max_execs verbose dot ->
-        exit_of (check_cmd name test weaken overrides max_execs verbose dot))
-    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot)
+    const (fun name test weaken overrides max_execs verbose dot jobs ->
+        exit_of (check_cmd name test weaken overrides max_execs verbose dot jobs))
+    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term)
 
 let cmds =
   [
@@ -194,7 +204,7 @@ let cmds =
       check_term;
     Cmd.v
       (Cmd.info "inject" ~doc:"Weaken each site in turn and report how each injection is caught.")
-      Term.(const (fun name -> exit_of (inject_cmd name)) $ bench_arg);
+      Term.(const (fun name jobs -> exit_of (inject_cmd name jobs)) $ bench_arg $ jobs_term);
     Cmd.v
       (Cmd.info "litmus" ~doc:"Run the litmus-test corpus (or one named test).")
       Term.(

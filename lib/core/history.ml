@@ -66,22 +66,44 @@ let calls_of_annots _exec annots =
   List.iter handle annots;
   List.sort (fun (a : Call.t) b -> compare a.id b.id) !finished
 
+(* Hot path: runs on every feasible execution, over all pairs of calls.
+   The action lookups (id -> Action.t) and seq_cst tests are hoisted out
+   of the pair loop into per-call arrays so the inner loop is pure
+   vector-clock queries, short-circuited on the first ordered pair. *)
 let ordering_relation exec (calls : Call.t list) =
-  let n = List.length calls in
+  let calls = Array.of_list calls in
+  let n = Array.length calls in
   let r = C11.Relation.create n in
-  List.iter
-    (fun (a : Call.t) ->
-      List.iter
-        (fun (b : Call.t) ->
-          if a.id <> b.id then
-            let ordered =
-              List.exists
-                (fun x -> List.exists (fun y -> C11.Execution.hb_or_sc exec x y) b.ordering_points)
-                a.ordering_points
-            in
-            if ordered then C11.Relation.add_edge r a.id b.id)
-        calls)
-    calls;
+  let acts =
+    Array.map
+      (fun (c : Call.t) ->
+        Array.of_list (List.map (C11.Execution.action exec) c.ordering_points))
+      calls
+  in
+  let sc = Array.map (Array.map C11.Action.is_seq_cst) acts in
+  let ordered i j =
+    let ops_a = acts.(i) and ops_b = acts.(j) in
+    let sc_a = sc.(i) and sc_b = sc.(j) in
+    try
+      for x = 0 to Array.length ops_a - 1 do
+        let a = ops_a.(x) in
+        for y = 0 to Array.length ops_b - 1 do
+          let b = ops_b.(y) in
+          if
+            a.C11.Action.id <> b.C11.Action.id
+            && (C11.Action.happens_before a b || (sc_a.(x) && sc_b.(y) && a.id < b.id))
+          then raise Exit
+        done
+      done;
+      false
+    with Exit -> true
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if calls.(i).id <> calls.(j).id && ordered i j then
+        C11.Relation.add_edge r calls.(i).id calls.(j).id
+    done
+  done;
   r
 
 let concurrent r calls (m : Call.t) =
@@ -101,7 +123,10 @@ let unordered_pairs r calls =
 let by_id calls =
   let tbl = Hashtbl.create 16 in
   List.iter (fun (c : Call.t) -> Hashtbl.replace tbl c.id c) calls;
-  fun id -> Hashtbl.find tbl id
+  fun id ->
+    match Hashtbl.find_opt tbl id with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "History.by_id: no call with id %d" id)
 
 let histories ?max ?sample r calls =
   let find = by_id calls in

@@ -4,12 +4,23 @@ module B = Structures.Benchmark
 type limits = {
   max_executions : int;
   checker : Cdsspec.Checker.config;
+  jobs : int;
 }
 
-let default_limits = { max_executions = 150_000; checker = Cdsspec.Checker.default_config }
+let default_limits =
+  { max_executions = 150_000; checker = Cdsspec.Checker.default_config; jobs = 1 }
+
+let jobs_of_env () =
+  match Sys.getenv_opt "CDSSPEC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some 0 -> Domain.recommended_domain_count ()
+    | _ -> invalid_arg (Printf.sprintf "CDSSPEC_JOBS=%S: expected a non-negative integer" s))
+  | None -> 1
 
 let explore ~limits (b : B.t) ~ords (t : B.test) =
-  E.explore
+  Mc.Parallel.explore ~jobs:limits.jobs
     ~config:
       { E.default_config with scheduler = b.scheduler; max_executions = Some limits.max_executions }
     ~on_feasible:(Cdsspec.Checker.hook ~config:limits.checker b.spec)

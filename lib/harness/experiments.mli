@@ -9,9 +9,15 @@
 type limits = {
   max_executions : int;
   checker : Cdsspec.Checker.config;
+  jobs : int;  (** exploration domains per unit test; 1 = serial explorer *)
 }
 
 val default_limits : limits
+
+(** Jobs requested via the [CDSSPEC_JOBS] environment variable: unset
+    means 1 (serial), 0 means [Domain.recommended_domain_count ()].
+    Raises [Invalid_argument] on garbage. *)
+val jobs_of_env : unit -> int
 
 (** {1 Figure 7 — benchmark results} *)
 

@@ -28,10 +28,12 @@ type result = {
 
 (* Advance [trace] to the next unexplored branch: drop exhausted trailing
    decisions and bump the deepest one with alternatives left. Returns
-   false when the whole tree has been explored. *)
-let backtrack (trace : Scheduler.decision Vec.t) =
+   false when the whole (sub)tree has been explored. The first [frozen]
+   decisions are never flipped or popped: they pin the subtree being
+   explored (the parallel explorer freezes a prefix per work item). *)
+let backtrack ?(frozen = 0) (trace : Scheduler.decision Vec.t) =
   let rec go () =
-    if Vec.is_empty trace then false
+    if Vec.length trace <= frozen then false
     else begin
       match Vec.last trace with
       | Scheduler.Sched d when d.sched_chosen + 1 < Array.length d.candidates ->
@@ -47,9 +49,8 @@ let backtrack (trace : Scheduler.decision Vec.t) =
   in
   go ()
 
-let explore ?(config = default_config) ?on_feasible main =
+let explore_subtree ?(config = default_config) ?on_feasible ?stop ~trace ~frozen main =
   let t0 = Unix.gettimeofday () in
-  let trace : Scheduler.decision Vec.t = Vec.create () in
   let explored = ref 0 in
   let feasible = ref 0 in
   let pruned_loop = ref 0 in
@@ -97,11 +98,13 @@ let explore ?(config = default_config) ?on_feasible main =
     | Pruned_loop_bound _ -> incr pruned_loop
     | Pruned_max_actions -> incr pruned_max
     | Pruned_sleep_set -> incr pruned_sleep);
-    (match config.max_executions with
-    | Some m when !explored >= m ->
+    let stopped = match stop with Some f -> f () | None -> false in
+    let capped = match config.max_executions with Some m -> !explored >= m | None -> false in
+    if stopped || capped then begin
       truncated := true;
       continue_ := false
-    | _ -> if not (backtrack trace) then continue_ := false)
+    end
+    else if not (backtrack ~frozen trace) then continue_ := false
   done;
   {
     stats =
@@ -119,3 +122,6 @@ let explore ?(config = default_config) ?on_feasible main =
     first_buggy_trace = !first_buggy_trace;
     first_buggy_exec = !first_buggy_exec;
   }
+
+let explore ?config ?on_feasible main =
+  explore_subtree ?config ?on_feasible ~trace:(Vec.create ()) ~frozen:0 main

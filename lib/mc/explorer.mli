@@ -30,6 +30,14 @@ type result = {
       (** the graph itself, e.g. for {!C11.Dot} rendering *)
 }
 
+(** [backtrack ?frozen trace] advances [trace] to the next unexplored
+    branch: drops exhausted trailing decisions and bumps the deepest one
+    with alternatives left, returning [false] once the (sub)tree is
+    exhausted. The first [frozen] decisions (default 0) are never flipped
+    or popped — they pin a subtree, which is how {!Parallel} partitions
+    the decision tree into independent work items. *)
+val backtrack : ?frozen:int -> Scheduler.decision C11.Vec.t -> bool
+
 (** [explore ~config ?on_feasible main] enumerates the behaviours of
     [main]. [on_feasible] runs on every complete bug-free execution (the
     specification checker hooks in here) and returns any violations it
@@ -37,5 +45,21 @@ type result = {
 val explore :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  (unit -> unit) ->
+  result
+
+(** [explore_subtree ~trace ~frozen main] is the DFS engine underlying
+    {!explore}, seeded with an explicit decision [trace] whose first
+    [frozen] decisions are pinned: only the subtree below that prefix is
+    enumerated. [stop] is polled once per completed run (after it is
+    counted); returning [true] truncates the search — the parallel
+    explorer uses it to enforce a global execution cap across domains.
+    [explore] is [explore_subtree ~trace:(Vec.create ()) ~frozen:0]. *)
+val explore_subtree :
+  ?config:config ->
+  ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  ?stop:(unit -> bool) ->
+  trace:Scheduler.decision C11.Vec.t ->
+  frozen:int ->
   (unit -> unit) ->
   result

@@ -1,0 +1,165 @@
+module Vec = C11.Vec
+
+(* ------------------------------------------------------------------ *)
+(* Decision prefixes                                                   *)
+
+(* Decision records are mutated by [Explorer.backtrack]; a prefix handed
+   to a worker must own its records (and the candidates array, to keep
+   the copy self-contained), or domains would race on [sched_chosen]. *)
+let copy_decision : Scheduler.decision -> Scheduler.decision = function
+  | Scheduler.Sched d ->
+    Scheduler.Sched { sched_chosen = d.sched_chosen; candidates = Array.copy d.candidates }
+  | Choice d -> Choice { choice_chosen = d.choice_chosen; num = d.num }
+
+(* Enumerate every realizable decision prefix of length <= [depth], in
+   DFS (lexicographic) order: run once to materialize the current path,
+   snapshot its first [depth] decisions, then truncate the trace to the
+   prefix and backtrack *within it*. Each snapshot pins a subtree; the
+   subtrees are pairwise disjoint (two prefixes differ at some frozen
+   decision) and jointly cover the tree (every run's first [depth]
+   decisions are one of them). Costs one full run per prefix. *)
+let prefixes ~config ~depth main =
+  let trace : Scheduler.decision Vec.t = Vec.create () in
+  let acc = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    ignore (Scheduler.run ~config ~trace main);
+    let k = min depth (Vec.length trace) in
+    acc := Array.init k (fun i -> copy_decision (Vec.get trace i)) :: !acc;
+    Vec.truncate trace k;
+    if not (Explorer.backtrack trace) then continue_ := false
+  done;
+  List.rev !acc
+
+(* Split-depth heuristic: deepen until there are enough subtrees to keep
+   every domain busy (so one slow subtree does not serialize the pool),
+   stopping once the count plateaus — at that point every prefix is a
+   full path and deepening only re-runs the whole tree. Each probe costs
+   one run per prefix, negligible against full exploration. *)
+let auto_split ~config ~jobs main =
+  let target = 4 * jobs in
+  let rec go depth prev =
+    let ps = prefixes ~config ~depth main in
+    let n = List.length ps in
+    if n >= target || depth >= 16 || n = prev then ps else go (depth + 3) n
+  in
+  go 3 (-1)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+
+let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.result =
+  let zero =
+    {
+      Explorer.explored = 0;
+      feasible = 0;
+      pruned_loop_bound = 0;
+      pruned_max_actions = 0;
+      pruned_sleep_set = 0;
+      buggy = 0;
+      truncated = stopped;
+      time = 0.;
+    }
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let stats = ref zero in
+  let bugs = ref [] in
+  let first_trace = ref None in
+  let first_exec = ref None in
+  Array.iter
+    (fun r ->
+      match r with
+      | None -> stats := { !stats with truncated = true }
+      | Some (r : Explorer.result) ->
+        let s = !stats in
+        stats :=
+          {
+            explored = s.explored + r.stats.explored;
+            feasible = s.feasible + r.stats.feasible;
+            pruned_loop_bound = s.pruned_loop_bound + r.stats.pruned_loop_bound;
+            pruned_max_actions = s.pruned_max_actions + r.stats.pruned_max_actions;
+            pruned_sleep_set = s.pruned_sleep_set + r.stats.pruned_sleep_set;
+            buggy = s.buggy + r.stats.buggy;
+            truncated = s.truncated || r.stats.truncated;
+            time = s.time;
+          };
+        List.iter
+          (fun b ->
+            let key = Bug.key b in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              bugs := b :: !bugs
+            end)
+          r.bugs;
+        if !first_trace = None then begin
+          match r.first_buggy_trace with
+          | Some _ ->
+            first_trace := r.first_buggy_trace;
+            first_exec := r.first_buggy_exec
+          | None -> ()
+        end)
+    results;
+  {
+    stats = { !stats with time = Unix.gettimeofday () -. t0 };
+    bugs = List.rev !bugs;
+    first_buggy_trace = !first_trace;
+    first_buggy_exec = !first_exec;
+  }
+
+let explore ?(config = Explorer.default_config) ?on_feasible ?(jobs = 1) ?split_depth main =
+  if jobs <= 1 then Explorer.explore ~config ?on_feasible main
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let work =
+      Array.of_list
+        (match split_depth with
+        | Some depth -> prefixes ~config:config.scheduler ~depth main
+        | None -> auto_split ~config:config.scheduler ~jobs main)
+    in
+    let n = Array.length work in
+    (* Results indexed by prefix: merge order is the DFS order of the
+       enumeration, never completion order, so parallel runs report the
+       same bug list and first buggy trace as the serial explorer. *)
+    let results : Explorer.result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let halted = Atomic.make false in
+    (* Workers explore whole subtrees with no per-subtree cap; the global
+       cap is enforced by [stop], polled after every counted run. *)
+    let stop =
+      match config.max_executions with
+      | None -> None
+      | Some m ->
+        let counter = Atomic.make 0 in
+        Some
+          (fun () ->
+            if Atomic.fetch_and_add counter 1 + 1 >= m then begin
+              Atomic.set halted true;
+              true
+            end
+            else Atomic.get halted)
+    in
+    let subtree_config = { config with max_executions = None } in
+    let worker () =
+      let rec loop () =
+        if not (Atomic.get halted) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let trace = Vec.create () in
+            Array.iter (fun d -> Vec.push trace (copy_decision d)) work.(i);
+            let r =
+              Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ~trace
+                ~frozen:(Array.length work.(i))
+                main
+            in
+            results.(i) <- Some r;
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    merge ~t0 ~stopped:(Atomic.get halted) results
+  end

@@ -1,0 +1,35 @@
+(** Parallel state-space exploration across OCaml 5 domains.
+
+    The decision tree is partitioned by enumerating every realizable
+    decision prefix up to a split depth (one scheduler run per prefix,
+    reusing the replay machinery); each prefix pins a disjoint subtree,
+    and a pool of [jobs] domains drains the subtree queue with the
+    serial {!Explorer} DFS, each domain on its own deep-copied trace.
+
+    Determinism contract: for exhaustive runs ([max_executions = None]),
+    [explore ~jobs:n] reports exactly the serial explorer's [stats]
+    (modulo [time]), the same deduplicated bug list in the same order,
+    and the same first buggy trace — per-subtree results are merged in
+    prefix (DFS) order, never completion order. With a [max_executions]
+    cap the global cut point depends on domain interleaving, so
+    truncated parallel runs may differ from truncated serial runs. *)
+
+(** [prefixes ~config ~depth main] enumerates every realizable decision
+    prefix of length <= [depth] in DFS order. The subtrees the prefixes
+    pin are pairwise disjoint and cover the whole tree. Exposed for the
+    coverage tests and the split-depth heuristic. *)
+val prefixes :
+  config:Scheduler.config -> depth:int -> (unit -> unit) -> Scheduler.decision array list
+
+(** [explore ?jobs ?split_depth main] explores like {!Explorer.explore}.
+    [jobs <= 1] (the default) is exactly the serial explorer.
+    [split_depth] defaults to a heuristic that deepens until there are
+    at least [4 * jobs] subtrees (or the prefix count plateaus), so the
+    queue stays long enough to balance uneven subtree sizes. *)
+val explore :
+  ?config:Explorer.config ->
+  ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  ?jobs:int ->
+  ?split_depth:int ->
+  (unit -> unit) ->
+  Explorer.result
