@@ -2,13 +2,14 @@
    (section 6), plus the ablations called out in DESIGN.md.
 
    Usage:
-     bench/main.exe            run everything (fig7 fig8 expr known ablation timing)
+     bench/main.exe            run everything (fig7 fig8 expr known ablation timing fuzz)
      bench/main.exe fig7       Figure 7  — benchmark results
      bench/main.exe fig8       Figure 8  — bug-injection detection
      bench/main.exe expr       section 6.2 expressiveness statistics
      bench/main.exe known      section 6.4.1 known bugs
      bench/main.exe ablation   design-choice ablations
      bench/main.exe timing     wall-clock timing per Figure-7 row; writes BENCH_PR1.json
+     bench/main.exe fuzz       randomized vs exhaustive exploration; writes BENCH_PR2.json
 
    `--jobs N` (or CDSSPEC_JOBS=N) runs every exploration on N domains;
    0 means one per recommended core. The timing job records the jobs
@@ -237,6 +238,172 @@ let run_timing () =
   in
   write_bench_json rows
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz: randomized exploration vs the exhaustive baseline, emitted as
+   BENCH_PR2.json. Two kinds of rows: seeded-buggy workloads measure
+   time-to-first-bug (fuzz stops at the first finding; the exhaustive
+   baseline's capped total time upper-bounds its own), and bug-free
+   oversized workloads measure throughput and coverage.                *)
+
+let fuzz_seed = 1
+
+let fuzz_json_file = "BENCH_PR2.json"
+
+type fuzz_buggy_row = {
+  fbr_workload : string;
+  fbr_ttfb : float option;  (* fuzz time-to-first-bug, seconds *)
+  fbr_exec_index : int option;  (* which run found it *)
+  fbr_fuzz_time : float;
+  fbr_repro : string option;
+  fbr_exh_time : float;
+  fbr_exh_explored : int;
+  fbr_exh_found : bool;
+}
+
+type fuzz_tp_row = {
+  ftr_workload : string;
+  ftr_execs : int;
+  ftr_feasible : int;
+  ftr_coverage : int;
+  ftr_bugs : int;
+  ftr_eps : float;  (* fuzz executions per second *)
+  ftr_exh_eps : float;  (* exhaustive executions per second, same cap *)
+}
+
+let fuzz_config (b : B.t) ~max_execs ~stop_on_first_bug =
+  {
+    Fuzz.Engine.default_config with
+    scheduler = { b.scheduler with Mc.Scheduler.sleep_sets = false };
+    max_executions = Some max_execs;
+    stop_on_first_bug;
+  }
+
+let exhaustive_capped (b : B.t) ~ords ~max_execs (t : B.test) =
+  Mc.Parallel.explore ~jobs:!jobs
+    ~config:{ E.default_config with scheduler = b.scheduler; max_executions = Some max_execs }
+    ~on_feasible:(Cdsspec.Checker.hook b.spec)
+    (t.program ords)
+
+let fuzz_buggy_case (b : B.t) test_name ~ords ~max_execs =
+  let t = find_test b test_name in
+  let r =
+    Fuzz.Engine.run
+      ~config:(fuzz_config b ~max_execs ~stop_on_first_bug:true)
+      ~on_feasible:(Cdsspec.Checker.hook b.spec)
+      ~seed:fuzz_seed (t.program ords)
+  in
+  let ex = exhaustive_capped b ~ords ~max_execs t in
+  {
+    fbr_workload = b.name ^ "/" ^ test_name;
+    fbr_ttfb = r.stats.time_to_first_bug;
+    fbr_exec_index = (match r.found with f :: _ -> Some f.execution | [] -> None);
+    fbr_fuzz_time = r.stats.time;
+    fbr_repro =
+      (match r.found with
+      | f :: _ ->
+        Some (Printf.sprintf "--fuzz --seed %d / --replay %s" fuzz_seed
+                (Fuzz.Engine.trace_to_string f.minimized))
+      | [] -> None);
+    fbr_exh_time = ex.stats.time;
+    fbr_exh_explored = ex.stats.explored;
+    fbr_exh_found = ex.bugs <> [];
+  }
+
+let fuzz_throughput_case (b : B.t) ~max_execs =
+  let t = List.hd b.tests in
+  let ords = Structures.Ords.default b.sites in
+  let r =
+    Fuzz.Engine.run
+      ~config:(fuzz_config b ~max_execs ~stop_on_first_bug:false)
+      ~on_feasible:(Cdsspec.Checker.hook b.spec)
+      ~seed:fuzz_seed (t.program ords)
+  in
+  let ex = exhaustive_capped b ~ords ~max_execs t in
+  {
+    ftr_workload = b.name ^ "/" ^ t.test_name;
+    ftr_execs = r.stats.executions;
+    ftr_feasible = r.stats.feasible;
+    ftr_coverage = r.stats.coverage;
+    ftr_bugs = List.length r.found;
+    ftr_eps = (if r.stats.time > 0. then float_of_int r.stats.executions /. r.stats.time else 0.);
+    ftr_exh_eps =
+      (if ex.stats.time > 0. then float_of_int ex.stats.explored /. ex.stats.time else 0.);
+  }
+
+let write_fuzz_json buggy throughput =
+  let path =
+    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> fuzz_json_file
+  in
+  let oc = open_out path in
+  let opt_f = function None -> "null" | Some v -> Printf.sprintf "%.4f" v in
+  let opt_i = function None -> "null" | Some v -> string_of_int v in
+  Printf.fprintf oc "{\n  \"pr\": 2,\n  \"jobs\": %d,\n  \"seed\": %d,\n  \"bias\": %S,\n" !jobs
+    fuzz_seed
+    (Fuzz.Bias.to_string Fuzz.Engine.default_config.bias);
+  Printf.fprintf oc "  \"time_to_first_bug\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"fuzz_ttfb_s\": %s, \"fuzz_exec_index\": %s, \"fuzz_wall_s\": \
+         %.4f, \"exhaustive_wall_s\": %.4f, \"exhaustive_explored\": %d, \"exhaustive_found\": \
+         %b}%s\n"
+        r.fbr_workload (opt_f r.fbr_ttfb) (opt_i r.fbr_exec_index) r.fbr_fuzz_time r.fbr_exh_time
+        r.fbr_exh_explored r.fbr_exh_found
+        (if i = List.length buggy - 1 then "" else ","))
+    buggy;
+  Printf.fprintf oc "  ],\n  \"throughput\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"execs\": %d, \"feasible\": %d, \"coverage\": %d, \"bugs\": %d, \
+         \"execs_per_sec\": %.1f, \"exhaustive_execs_per_sec\": %.1f}%s\n"
+        r.ftr_workload r.ftr_execs r.ftr_feasible r.ftr_coverage r.ftr_bugs r.ftr_eps
+        r.ftr_exh_eps
+        (if i = List.length throughput - 1 then "" else ","))
+    throughput;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (jobs=%d)@." path !jobs
+
+let run_fuzz () =
+  section (Printf.sprintf "Fuzz: randomized vs exhaustive exploration (seed=%d)" fuzz_seed);
+  Format.printf "%-34s %10s %9s %12s %11s %9s@." "Seeded-buggy workload" "fuzz ttfb" "at exec"
+    "fuzz wall" "exh wall" "exh found";
+  let ms = Structures.Ms_queue.benchmark in
+  let buggy_ords = Structures.Ms_queue.known_buggy_ords in
+  let buggy =
+    List.map
+      (fun row ->
+        let r = row () in
+        Format.printf "%-34s %10s %9s %11.3fs %10.3fs %9b@." r.fbr_workload
+          (match r.fbr_ttfb with None -> "-" | Some t -> Printf.sprintf "%.3fs" t)
+          (match r.fbr_exec_index with None -> "-" | Some i -> string_of_int i)
+          r.fbr_fuzz_time r.fbr_exh_time r.fbr_exh_found;
+        (match r.fbr_repro with
+        | Some repro -> Format.printf "    repro: %s@." repro
+        | None -> ());
+        r)
+      [
+        (fun () -> fuzz_buggy_case ms "1enq-1deq" ~ords:buggy_ords ~max_execs:50_000);
+        (fun () -> fuzz_buggy_case ms "2enq-2deq" ~ords:buggy_ords ~max_execs:50_000);
+        (fun () ->
+          fuzz_buggy_case Structures.Oversized.ms_queue "2x4enq-2x4deq" ~ords:buggy_ords
+            ~max_execs:5_000);
+      ]
+  in
+  Format.printf "@.%-34s %8s %9s %9s %6s %10s %12s@." "Bug-free oversized workload" "execs"
+    "feasible" "coverage" "bugs" "execs/s" "exh execs/s";
+  let throughput =
+    List.map
+      (fun b ->
+        let r = fuzz_throughput_case b ~max_execs:1_000 in
+        Format.printf "%-34s %8d %9d %9d %6d %10.0f %12.0f@." r.ftr_workload r.ftr_execs
+          r.ftr_feasible r.ftr_coverage r.ftr_bugs r.ftr_eps r.ftr_exh_eps;
+        r)
+      (X.fuzz_workloads ())
+  in
+  write_fuzz_json buggy throughput
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* split --jobs N / --jobs=N / -j N off the job-name list *)
@@ -265,7 +432,7 @@ let () =
     exit 2);
   let names = try parse [] args with Failure msg -> prerr_endline msg; exit 2 in
   let names =
-    if names = [] then [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing" ] else names
+    if names = [] then [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing"; "fuzz" ] else names
   in
   List.iter
     (fun job ->
@@ -276,5 +443,7 @@ let () =
       | "known" -> run_known ()
       | "ablation" -> run_ablation ()
       | "timing" -> run_timing ()
-      | other -> Format.printf "unknown job %S (fig7|fig8|expr|known|ablation|timing)@." other)
+      | "fuzz" -> run_fuzz ()
+      | other ->
+        Format.printf "unknown job %S (fig7|fig8|expr|known|ablation|timing|fuzz)@." other)
     names

@@ -63,49 +63,137 @@ let litmus_cmd filter =
     if !all_ok then `Ok else `Bug
   end
 
-let check_cmd name test_filter weaken overrides max_execs verbose dot jobs =
+(* Shared post-exploration reporting: the exhaustive and fuzz paths both
+   funnel through an Explorer-shaped result. *)
+let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
+  List.iter (fun bug -> Format.printf "  BUG: %a@." Mc.Bug.pp bug) r.bugs;
+  (match r.first_buggy_trace with
+  | Some trace when verbose ->
+    Format.printf "  first buggy execution:@.%s@."
+      (String.concat "\n" (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' trace)))
+  | _ -> ());
+  (match r.first_buggy_exec, dot with
+  | Some exec, Some path ->
+    C11.Dot.write_file exec path;
+    Format.printf "  wrote %s (render with `dot -Tsvg`)@." path
+  | _ -> ());
+  ignore (b, t);
+  r.bugs <> []
+
+let exhaustive_one ~checker ~max_execs ~jobs (b : B.t) ~ords (t : B.test) =
+  let r =
+    Mc.Parallel.explore ~jobs
+      ~config:{ E.default_config with scheduler = b.scheduler; max_executions = max_execs }
+      ~on_feasible:(Cdsspec.Checker.hook ~config:checker b.spec)
+      (t.program ords)
+  in
+  Format.printf "%s/%s: explored %d, feasible %d, %.2fs%s@." b.name t.test_name r.stats.explored
+    r.stats.feasible r.stats.time
+    (if r.stats.truncated then " (truncated)" else "");
+  r
+
+let fuzz_one ~checker ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B.test) =
+  let r =
+    Fuzz.Engine.run
+      ~config:
+        {
+          Fuzz.Engine.default_config with
+          scheduler = { b.scheduler with Mc.Scheduler.sleep_sets = false };
+          bias;
+          max_executions = max_execs;
+          time_budget;
+        }
+      ~on_feasible:(Cdsspec.Checker.hook ~config:checker b.spec)
+      ~seed (t.program ords)
+  in
+  Format.printf "%s/%s: fuzzed %d (%s, seed %d), feasible %d, coverage %d, %.0f execs/s, %.2fs%s@."
+    b.name t.test_name r.stats.executions
+    (Fuzz.Bias.to_string r.bias)
+    r.seed r.stats.feasible r.stats.coverage
+    (if r.stats.time > 0. then float_of_int r.stats.executions /. r.stats.time else 0.)
+    r.stats.time
+    (if r.stats.truncated then " (truncated)" else "");
+  (match r.stats.time_to_first_bug with
+  | Some t -> Format.printf "  time to first bug: %.3fs@." t
+  | None -> ());
+  List.iter
+    (fun (f : Fuzz.Engine.found) ->
+      Format.printf "  repro: --fuzz --seed %d (execution %d), or --replay %s@." r.seed
+        f.execution
+        (Fuzz.Engine.trace_to_string f.minimized))
+    r.found;
+  Fuzz.Engine.explorer_result r
+
+let replay_one ~checker ~decisions (b : B.t) ~ords (t : B.test) =
+  let run_r, bugs =
+    Fuzz.Engine.replay
+      ~scheduler:{ b.scheduler with Mc.Scheduler.sleep_sets = false }
+      ~on_feasible:(Cdsspec.Checker.hook ~config:checker b.spec)
+      ~decisions (t.program ords)
+  in
+  let outcome =
+    match run_r.outcome with
+    | Mc.Scheduler.Complete -> "complete"
+    | Pruned_loop_bound _ -> "pruned (loop bound)"
+    | Pruned_max_actions -> "pruned (max actions)"
+    | Pruned_sleep_set -> "pruned (sleep set)"
+  in
+  Format.printf "%s/%s: replayed %d decisions, %s@." b.name t.test_name (List.length decisions)
+    outcome;
+  {
+    E.stats =
+      {
+        E.explored = 1;
+        feasible = (if run_r.outcome = Mc.Scheduler.Complete then 1 else 0);
+        pruned_sleep_set = 0;
+        pruned_loop_bound = 0;
+        pruned_max_actions = 0;
+        buggy = (if bugs <> [] then 1 else 0);
+        time = 0.;
+        truncated = false;
+      };
+    bugs;
+    first_buggy_trace =
+      (if bugs <> [] then Some (Fmt.str "%a" C11.Execution.pp run_r.exec) else None);
+    first_buggy_exec = (if bugs <> [] then Some run_r.exec else None);
+  }
+
+let check_cmd name test_filter weaken overrides max_execs verbose dot jobs fuzzing replay =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
     match build_ords b weaken overrides with
     | Error e -> e
-    | Ok ords ->
+    | Ok ords -> (
+      let fuzz, seed, time_budget, bias, checker = fuzzing in
       let tests =
         match test_filter with
         | None -> b.tests
         | Some t -> List.filter (fun (x : B.test) -> x.test_name = t) b.tests
       in
-      if tests = [] then `Msg "no matching test"
-      else begin
-        let any_bug = ref false in
-        List.iter
-          (fun (t : B.test) ->
-            let r =
-              Mc.Parallel.explore ~jobs
-                ~config:
-                  { E.default_config with scheduler = b.scheduler; max_executions = max_execs }
-                ~on_feasible:(Cdsspec.Checker.hook b.spec)
-                (t.program ords)
-            in
-            Format.printf "%s/%s: explored %d, feasible %d, %.2fs%s@." b.name t.test_name
-              r.stats.explored r.stats.feasible r.stats.time
-              (if r.stats.truncated then " (truncated)" else "");
-            List.iter (fun bug -> Format.printf "  BUG: %a@." Mc.Bug.pp bug) r.bugs;
-            if r.bugs <> [] then any_bug := true;
-            (match r.first_buggy_trace with
-            | Some trace when verbose ->
-              Format.printf "  first buggy execution:@.%s@."
-                (String.concat "\n"
-                   (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' trace)))
-            | _ -> ());
-            match r.first_buggy_exec, dot with
-            | Some exec, Some path ->
-              C11.Dot.write_file exec path;
-              Format.printf "  wrote %s (render with `dot -Tsvg`)@." path
-            | _ -> ())
-          tests;
-        if !any_bug then `Bug else `Ok
-      end)
+      let run =
+        match replay with
+        | Some s -> (
+          match Fuzz.Engine.trace_of_string s with
+          | Some decisions -> Ok (replay_one ~checker ~decisions)
+          | None -> Error (`Msg (Printf.sprintf "bad trace %S: expected dot-separated indices" s)))
+        | None ->
+          if fuzz then Ok (fuzz_one ~checker ~max_execs ~seed ~time_budget ~bias)
+          else Ok (exhaustive_one ~checker ~max_execs ~jobs)
+      in
+      match run with
+      | Error e -> e
+      | Ok run ->
+        if tests = [] then `Msg "no matching test"
+        else begin
+          let any_bug = ref false in
+          List.iter
+            (fun (t : B.test) ->
+              let r = run b ~ords t in
+              if report_result ~verbose ~dot b t r then any_bug := true)
+            tests;
+          if !any_bug then `Bug else `Ok
+        end))
 
 let inject_cmd name jobs =
   match find_bench name with
@@ -162,6 +250,73 @@ let jobs_term =
     $ Arg.(
         value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "CDSSPEC_JOBS") ~doc))
 
+let bias_conv =
+  let parse s =
+    match Fuzz.Bias.of_string s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown bias %S; expected one of: %s" s
+             (String.concat ", " (List.map Fuzz.Bias.to_string Fuzz.Bias.all))))
+  in
+  Arg.conv (parse, Fuzz.Bias.pp)
+
+(* --fuzz and its knobs, plus the checker's history-sampling options,
+   bundled into one term so [check_cmd] stays legible. *)
+let fuzzing_term =
+  let fuzz =
+    Arg.(
+      value & flag
+      & info [ "fuzz" ]
+          ~doc:
+            "Sample executions randomly (C11Tester-style) instead of exhausting the decision \
+             tree. Each reported bug prints a seed and a minimized decision trace that replays \
+             it deterministically.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for $(b,--fuzz); same seed, same campaign.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS" ~doc:"Stop fuzzing after this much wall-clock.")
+  in
+  let bias =
+    Arg.(
+      value
+      & opt bias_conv Fuzz.Bias.Prefer_stale_rf
+      & info [ "bias" ] ~docv:"POLICY"
+          ~doc:"Fuzz decision bias: $(b,uniform), $(b,prefer-switch) or $(b,prefer-stale-rf).")
+  in
+  let sample_histories =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-histories" ] ~docv:"N"
+          ~doc:
+            "Have the spec checker randomly sample N sequential histories per execution instead \
+             of enumerating them exhaustively.")
+  in
+  let history_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "history-seed" ] ~docv:"S" ~doc:"PRNG seed for $(b,--sample-histories).")
+  in
+  Term.(
+    const (fun fuzz seed time_budget bias sample hseed ->
+        let checker =
+          match sample with
+          | None -> Cdsspec.Checker.default_config
+          | Some n ->
+            { Cdsspec.Checker.default_config with sample_histories = Some (n, hseed) }
+        in
+        (fuzz, seed, time_budget, bias, checker))
+    $ fuzz $ seed $ time_budget $ bias $ sample_histories $ history_seed)
+
 let check_term =
   let test =
     Arg.(value & opt (some string) None & info [ "t"; "test" ] ~docv:"TEST" ~doc:"Run only this unit test.")
@@ -189,10 +344,20 @@ let check_term =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Write the first buggy execution graph as Graphviz DOT.")
   in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TRACE"
+          ~doc:
+            "Replay one execution from a dot-separated decision trace (as printed by \
+             $(b,--fuzz) reproducers) and report its bugs.")
+  in
   Term.(
-    const (fun name test weaken overrides max_execs verbose dot jobs ->
-        exit_of (check_cmd name test weaken overrides max_execs verbose dot jobs))
-    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term)
+    const (fun name test weaken overrides max_execs verbose dot jobs fuzzing replay ->
+        exit_of (check_cmd name test weaken overrides max_execs verbose dot jobs fuzzing replay))
+    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ fuzzing_term
+    $ replay)
 
 let cmds =
   [

@@ -1,0 +1,48 @@
+type policy = Uniform | Prefer_switch | Prefer_stale_rf
+
+let all = [ Uniform; Prefer_switch; Prefer_stale_rf ]
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Prefer_switch -> "prefer-switch"
+  | Prefer_stale_rf -> "prefer-stale-rf"
+
+let of_string = function
+  | "uniform" -> Some Uniform
+  | "prefer-switch" -> Some Prefer_switch
+  | "prefer-stale-rf" -> Some Prefer_stale_rf
+  | _ -> None
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+type sampler = { policy : policy; rng : Rng.t; mutable last_tid : int }
+
+let sampler policy rng = { policy; rng; last_tid = -1 }
+
+(* Uniform over the candidate tids that differ from [last], if any. *)
+let pick_switch s (candidates : int array) =
+  let n = Array.length candidates in
+  let others = ref [] in
+  Array.iteri (fun i tid -> if tid <> s.last_tid then others := i :: !others) candidates;
+  match !others with
+  | [] -> Rng.int s.rng n
+  | others ->
+    (* 3/4 of the time take a switch; always switching would never let a
+       thread run twice in a row, missing same-thread reorderings *)
+    if Rng.int s.rng 4 < 3 then List.nth others (Rng.int s.rng (List.length others))
+    else Rng.int s.rng n
+
+let pick s (d : Mc.Scheduler.decision) =
+  let n = Mc.Scheduler.decision_arity d in
+  match s.policy, d with
+  | Uniform, _ -> Rng.int s.rng n
+  | Prefer_switch, Sched { candidates; _ } ->
+    let i = pick_switch s candidates in
+    s.last_tid <- candidates.(i);
+    i
+  | Prefer_switch, Choice _ -> Rng.int s.rng n
+  | Prefer_stale_rf, Choice _ ->
+    (* triangular distribution toward the high end: read candidates are
+       listed newest-first, so larger indices are staler writes *)
+    max (Rng.int s.rng n) (Rng.int s.rng n)
+  | Prefer_stale_rf, Sched _ -> Rng.int s.rng n

@@ -1,0 +1,27 @@
+(** Decision-sampling policies for randomized exploration, after
+    C11Tester (Luo & Demsky, ASPLOS 2021): biasing which thread runs and
+    which write a load reads from steers random walks toward the rare
+    interleavings and stale reads where weak-memory bugs live. *)
+
+type policy =
+  | Uniform  (** every alternative equally likely *)
+  | Prefer_switch
+      (** scheduling decisions avoid the thread picked at the previous
+          decision point, forcing context switches at contended points *)
+  | Prefer_stale_rf
+      (** reads-from decisions are biased toward older writes —
+          C11Tester's key trick for surfacing missing-acquire bugs *)
+
+val all : policy list
+val to_string : policy -> string
+val of_string : string -> policy option
+val pp : Format.formatter -> policy -> unit
+
+(** Per-execution sampler: owns the run's PRNG plus any policy state
+    (e.g. the last scheduled thread). Create one per run. *)
+type sampler
+
+val sampler : policy -> Rng.t -> sampler
+
+(** [pick s d] samples an index in [\[0, decision_arity d)]. *)
+val pick : sampler -> Mc.Scheduler.decision -> int

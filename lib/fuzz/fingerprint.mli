@@ -1,0 +1,11 @@
+(** Execution fingerprints for coverage accounting: two runs that commit
+    the same action sequence (same threads, kinds, locations, orders,
+    values and reads-from edges, in the same commit order) hash equal, so
+    the number of distinct fingerprints counts the distinct behaviours a
+    fuzz campaign has actually exercised — random walks revisit the same
+    executions constantly, and raw run counts wildly overstate
+    coverage. *)
+
+(** Hash of the committed action graph. Deterministic across runs and
+    processes (no randomized hashing). *)
+val execution : C11.Execution.t -> int64

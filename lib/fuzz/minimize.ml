@@ -1,0 +1,37 @@
+(* Drop the all-zero tail: replay pads fresh decision points with 0, so
+   trailing zeros are redundant. *)
+let strip_tail l =
+  let rec drop = function 0 :: tl -> drop tl | l -> l in
+  List.rev (drop (List.rev l))
+
+let run ~check trace =
+  let replays = ref 0 in
+  let check l =
+    incr replays;
+    check l
+  in
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  let candidate () = strip_tail (Array.to_list arr) in
+  (* ddmin-style: zero chunks at halving granularity; [arr] always holds
+     a verified reproducer. *)
+  let chunk = ref (max 1 ((n + 1) / 2)) in
+  let continue_ = ref (n > 0) in
+  while !continue_ do
+    let pos = ref 0 in
+    while !pos < n do
+      let hi = min n (!pos + !chunk) in
+      let dirty = ref false in
+      for i = !pos to hi - 1 do
+        if arr.(i) <> 0 then dirty := true
+      done;
+      if !dirty then begin
+        let saved = Array.sub arr !pos (hi - !pos) in
+        Array.fill arr !pos (hi - !pos) 0;
+        if not (check (candidate ())) then Array.blit saved 0 arr !pos (hi - !pos)
+      end;
+      pos := hi
+    done;
+    if !chunk = 1 then continue_ := false else chunk := !chunk / 2
+  done;
+  (candidate (), !replays)

@@ -1,0 +1,22 @@
+(** Decision-trace minimization by delta debugging.
+
+    A fuzzed execution is identified by its list of chosen decision
+    indices; replaying pads missing decisions with index 0 and clamps
+    out-of-range ones, so *any* index list is a valid (if different)
+    execution. Minimization exploits that tolerance: zero out chunks of
+    the list at shrinking granularity, keeping each mutation only if the
+    target bug still reproduces, then drop the all-zero tail (replay
+    padding regenerates it). Zeroing rather than deleting keeps the
+    search well-behaved — deleting an entry shifts every later index onto
+    a different decision point, while zeroing perturbs only the points it
+    touches.
+
+    The result is never longer than the input, reproduces the bug by
+    construction (every kept mutation was verified), and is 1-minimal in
+    the limit: no single remaining index can be zeroed. *)
+
+(** [run ~check trace] where [check candidate] replays [candidate] and
+    reports whether the target bug fires. [trace] itself must satisfy
+    [check]. Returns the minimized trace and the number of [check]
+    replays spent. *)
+val run : check:(int list -> bool) -> int list -> int list * int

@@ -1,0 +1,26 @@
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer (Steele, Lea & Flood; public-domain reference
+   constants). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed = { s = mix (Int64.of_int seed) }
+
+let make2 seed stream =
+  { s = mix (Int64.logxor (mix (Int64.of_int seed)) (Int64.mul golden (Int64.of_int (stream + 1)))) }
+
+let bits t =
+  t.s <- Int64.add t.s golden;
+  mix t.s
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* modulo bias is ~n/2^63 — irrelevant for decision arities *)
+  Int64.to_int (Int64.rem (Int64.logand (bits t) Int64.max_int) (Int64.of_int n))
+
+let bool t = Int64.logand (bits t) 1L = 1L

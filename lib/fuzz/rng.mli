@@ -1,0 +1,27 @@
+(** Deterministic splitmix64 PRNG.
+
+    Self-contained so fuzz runs replay bit-for-bit across OCaml versions
+    (the stdlib [Random] algorithm changed in 5.0 and may change again);
+    a (seed, stream) pair fully determines the sequence. *)
+
+type t
+
+(** [make seed] seeds a generator. The seed is pre-mixed, so nearby
+    seeds produce unrelated sequences. *)
+val make : int -> t
+
+(** [make2 seed stream] derives the [stream]-th independent generator of
+    [seed] — one per fuzzed execution, so any single execution can be
+    regenerated from [(seed, index)] without replaying its
+    predecessors. *)
+val make2 : int -> int -> t
+
+(** Next raw 64-bit output. *)
+val bits : t -> int64
+
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] when
+    [n <= 0]. *)
+val int : t -> int -> int
+
+(** Fair coin. *)
+val bool : t -> bool

@@ -50,7 +50,10 @@ let backtrack ?(frozen = 0) (trace : Scheduler.decision Vec.t) =
   go ()
 
 let explore_subtree ?(config = default_config) ?on_feasible ?stop ~trace ~frozen main =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic.now () in
+  (* Time spent in the caller's [progress] callback is the caller's, not
+     the search's: subtract it, or a slow reporter inflates [stats.time]. *)
+  let progress_overhead = ref 0. in
   let explored = ref 0 in
   let feasible = ref 0 in
   let pruned_loop = ref 0 in
@@ -84,7 +87,10 @@ let explore_subtree ?(config = default_config) ?on_feasible ?stop ~trace ~frozen
     let r = Scheduler.run ~config:config.scheduler ~trace main in
     incr explored;
     (match config.progress with
-    | Some f when !explored mod 1024 = 0 -> f !explored
+    | Some f when !explored mod 1024 = 0 ->
+      let p0 = Monotonic.now () in
+      f !explored;
+      progress_overhead := !progress_overhead +. (Monotonic.now () -. p0)
     | _ -> ());
     (match r.outcome with
     | Scheduler.Complete ->
@@ -116,7 +122,7 @@ let explore_subtree ?(config = default_config) ?on_feasible ?stop ~trace ~frozen
         pruned_sleep_set = !pruned_sleep;
         buggy = !buggy;
         truncated = !truncated;
-        time = Unix.gettimeofday () -. t0;
+        time = Monotonic.now () -. t0 -. !progress_overhead;
       };
     bugs = List.rev !bugs;
     first_buggy_trace = !first_buggy_trace;

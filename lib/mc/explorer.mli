@@ -18,7 +18,9 @@ type stats = {
   pruned_sleep_set : int;
   buggy : int;  (** feasible executions on which at least one bug fired *)
   truncated : bool;  (** true when max_executions stopped the search *)
-  time : float;  (** wall-clock seconds *)
+  time : float;
+      (** wall-clock seconds, measured with the monotonic clock and
+          excluding time spent inside the [progress] callback *)
 }
 
 type result = {

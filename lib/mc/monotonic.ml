@@ -1,0 +1,1 @@
+external now : unit -> float = "cdsspec_monotonic_now"

@@ -1,0 +1,6 @@
+(** Monotonic wall clock. Only differences are meaningful: the epoch is
+    arbitrary (boot time on Linux), but the clock never jumps backwards
+    or steps with NTP adjustments, so elapsed-time measurements
+    ([now () -. t0]) are reliable, unlike [Unix.gettimeofday]. *)
+
+val now : unit -> float

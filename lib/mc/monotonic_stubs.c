@@ -1,0 +1,14 @@
+/* Monotonic wall clock for exploration timing: immune to NTP steps and
+   settimeofday, unlike Unix.gettimeofday. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value cdsspec_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

@@ -100,7 +100,7 @@ let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.resul
         end)
     results;
   {
-    stats = { !stats with time = Unix.gettimeofday () -. t0 };
+    stats = { !stats with time = Monotonic.now () -. t0 };
     bugs = List.rev !bugs;
     first_buggy_trace = !first_trace;
     first_buggy_exec = !first_exec;
@@ -109,7 +109,7 @@ let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.resul
 let explore ?(config = Explorer.default_config) ?on_feasible ?(jobs = 1) ?split_depth main =
   if jobs <= 1 then Explorer.explore ~config ?on_feasible main
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Monotonic.now () in
     let work =
       Array.of_list
         (match split_depth with

@@ -63,6 +63,7 @@ type state = {
   mutable threads : status array;
   mutable nthreads : int;
   trace : decision Vec.t;
+  pick : (decision -> int) option;  (* initial choice at *fresh* decision points *)
   mutable cursor : int;
   annots : annot Vec.t;
   mutable bugs : Bug.t list;  (* reverse commit order *)
@@ -100,6 +101,17 @@ let record_problems st problems =
       st.bugs <- bug :: st.bugs)
     problems
 
+(* The initial index of a fresh decision point: 0 for the DFS explorer,
+   or whatever the [pick] hook samples (the fuzzer's biased PRNG).
+   Out-of-range picks are clamped to 0 so a replayed index list shrunk
+   by trace minimization can never crash the run. *)
+let initial_choice st d =
+  match st.pick with
+  | None -> 0
+  | Some f ->
+    let i = f d in
+    if i < 0 || i >= decision_arity d then 0 else i
+
 (* Decision points: consume the replayed prefix, then extend with the
    default choice. Trivial (single-alternative) points are not recorded. *)
 let choose st num =
@@ -114,9 +126,11 @@ let choose st num =
     | Sched _ -> assert false
   end
   else begin
-    Vec.push st.trace (Choice { choice_chosen = 0; num });
+    let d = { choice_chosen = 0; num } in
+    d.choice_chosen <- initial_choice st (Choice d);
+    Vec.push st.trace (Choice d);
     st.cursor <- st.cursor + 1;
-    0
+    d.choice_chosen
   end
 
 (* Scheduling decision over candidate tids; returns (chosen tid, sleep
@@ -134,12 +148,20 @@ let choose_sched st candidates =
       end
       else begin
         let d = { sched_chosen = 0; candidates } in
+        d.sched_chosen <- initial_choice st (Sched d);
         Vec.push st.trace (Sched d);
         d
       end
     in
     st.cursor <- st.cursor + 1;
-    let slept = Array.to_list (Array.sub d.candidates 0 d.sched_chosen) in
+    (* Earlier siblings are a sleep-set contribution only under DFS, where
+       [sched_chosen > 0] means they were already explored. A sampled
+       index says nothing about its siblings, so fuzz runs contribute
+       nothing (they disable sleep sets anyway). *)
+    let slept =
+      if st.pick <> None then []
+      else Array.to_list (Array.sub d.candidates 0 d.sched_chosen)
+    in
     (d.candidates.(d.sched_chosen), slept)
   end
 
@@ -423,7 +445,7 @@ let keep_asleep st footprints tid =
     List.for_all (fun g -> not (dependent g f)) footprints
   | Not_started _ | Finished -> false
 
-let run ~config ~trace main =
+let run ?pick ~config ~trace main =
   let st =
     {
       config;
@@ -431,6 +453,7 @@ let run ~config ~trace main =
       threads = Array.make 4 Finished;
       nthreads = 0;
       trace;
+      pick;
       cursor = 0;
       annots = Vec.create ();
       bugs = [];

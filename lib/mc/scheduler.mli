@@ -60,5 +60,20 @@ type run_result = {
   outcome : outcome;
 }
 
-(** [run ~config ~trace main] executes [main] as thread 0. *)
-val run : config:config -> trace:decision C11.Vec.t -> (unit -> unit) -> run_result
+(** [run ~config ~trace main] executes [main] as thread 0.
+
+    [pick], when given, decides the initial index of every *fresh*
+    decision point (one the replayed [trace] prefix does not cover); the
+    chosen index is recorded in [trace] as usual, so the completed trace
+    replays the run deterministically. Out-of-range picks are clamped to
+    0. Without [pick] fresh points take index 0 — the DFS explorer's
+    convention. Sampled indices carry no "explored siblings" meaning, so
+    runs with [pick] contribute nothing to sleep sets; the fuzzer
+    disables sleep sets entirely (they would mis-prune under random
+    choice). *)
+val run :
+  ?pick:(decision -> int) ->
+  config:config ->
+  trace:decision C11.Vec.t ->
+  (unit -> unit) ->
+  run_result

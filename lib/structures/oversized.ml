@@ -1,0 +1,130 @@
+module P = Mc.Program
+
+(* Oversized M&S queue: 2 producers × 4 enqueues racing 2 consumers × 4
+   dequeues — 4 threads, 16 calls (the exhaustive unit tests stop at 2
+   threads × 2 calls). *)
+let ms_test ords () =
+  let q = Ms_queue.create () in
+  let p1 =
+    P.spawn (fun () ->
+        Ms_queue.enq ords q 11;
+        Ms_queue.enq ords q 12;
+        Ms_queue.enq ords q 13;
+        Ms_queue.enq ords q 14)
+  in
+  let p2 =
+    P.spawn (fun () ->
+        Ms_queue.enq ords q 21;
+        Ms_queue.enq ords q 22;
+        Ms_queue.enq ords q 23;
+        Ms_queue.enq ords q 24)
+  in
+  let c1 =
+    P.spawn (fun () ->
+        ignore (Ms_queue.deq ords q);
+        ignore (Ms_queue.deq ords q);
+        ignore (Ms_queue.deq ords q);
+        ignore (Ms_queue.deq ords q))
+  in
+  let c2 =
+    P.spawn (fun () ->
+        ignore (Ms_queue.deq ords q);
+        ignore (Ms_queue.deq ords q);
+        ignore (Ms_queue.deq ords q);
+        ignore (Ms_queue.deq ords q))
+  in
+  P.join p1;
+  P.join p2;
+  P.join c1;
+  P.join c2
+
+let ms_queue =
+  Benchmark.make ~name:"M&S Queue (oversized)" ~spec:Ms_queue.spec ~sites:Ms_queue.sites
+    [ ("2x4enq-2x4deq", ms_test) ]
+
+(* Oversized Treiber stack: 4 symmetric workers, each 2 pushes then 2
+   pops. *)
+let stack_worker ords s base () =
+  Treiber_stack.push ords s (base + 1);
+  Treiber_stack.push ords s (base + 2);
+  ignore (Treiber_stack.pop ords s);
+  ignore (Treiber_stack.pop ords s)
+
+let stack_test ords () =
+  let s = Treiber_stack.create () in
+  let t1 = P.spawn (stack_worker ords s 10) in
+  let t2 = P.spawn (stack_worker ords s 20) in
+  let t3 = P.spawn (stack_worker ords s 30) in
+  let t4 = P.spawn (stack_worker ords s 40) in
+  P.join t1;
+  P.join t2;
+  P.join t3;
+  P.join t4
+
+let treiber_stack =
+  Benchmark.make ~name:"Treiber Stack (oversized)" ~spec:Treiber_stack.spec
+    ~sites:Treiber_stack.sites
+    [ ("4x2push-2pop", stack_test) ]
+
+(* Oversized Harris–Michael set: 4 threads churning the shared list.
+   Each thread owns a distinct key (the spec's deterministic add/remove
+   postconditions rely on same-key operations being CAS-ordered, which a
+   *failed* add is not — the stock unit tests respect the same contract);
+   threads interact through overlapping [contains] probes, traversal over
+   each other's nodes, and helping unlinks of marked nodes. *)
+let set_worker ords s k probe () =
+  ignore (Lockfree_set.add ords s k);
+  ignore (Lockfree_set.contains ords s probe);
+  ignore (Lockfree_set.remove ords s k)
+
+let set_test ords () =
+  let s = Lockfree_set.create () in
+  let t1 = P.spawn (set_worker ords s 1 2) in
+  let t2 = P.spawn (set_worker ords s 2 1) in
+  let t3 = P.spawn (set_worker ords s 3 1) in
+  let t4 = P.spawn (set_worker ords s 4 3) in
+  P.join t1;
+  P.join t2;
+  P.join t3;
+  P.join t4
+
+let lockfree_set =
+  Benchmark.make ~name:"Lockfree Set (oversized)" ~spec:Lockfree_set.spec
+    ~sites:Lockfree_set.sites
+    [ ("4x3ops", set_test) ]
+
+(* Oversized SPSC queue: still one producer and one consumer (the
+   structure's contract), but 8 calls each — beyond the ≤5 calls/thread
+   the exhaustive suites hold to. *)
+let spsc_test ords () =
+  let q = Spsc_queue.create () in
+  let producer =
+    P.spawn (fun () ->
+        Spsc_queue.enq ords q 1;
+        Spsc_queue.enq ords q 2;
+        Spsc_queue.enq ords q 3;
+        Spsc_queue.enq ords q 4;
+        Spsc_queue.enq ords q 5;
+        Spsc_queue.enq ords q 6;
+        Spsc_queue.enq ords q 7;
+        Spsc_queue.enq ords q 8)
+  in
+  let consumer =
+    P.spawn (fun () ->
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q);
+        ignore (Spsc_queue.deq ords q))
+  in
+  P.join producer;
+  P.join consumer
+
+let spsc_queue =
+  Benchmark.make ~name:"SPSC Queue (oversized)" ~spec:Spsc_queue.spec ~sites:Spsc_queue.sites
+    [ ("8enq-8deq", spsc_test) ]
+
+let all () = [ ms_queue; treiber_stack; lockfree_set; spsc_queue ]

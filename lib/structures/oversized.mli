@@ -1,0 +1,19 @@
+(** Fuzz-only workloads: the same structures as the paper's benchmarks,
+    driven by more threads and more calls per thread than exhaustive
+    exploration can cover (the unit tests elsewhere stay at the paper's
+    ≤3 threads / ≤5 calls scale). Exhaustively exploring any of these
+    would take billions of runs; the randomized engine samples them
+    instead. They are registered like any benchmark, so
+    [cdsspec_run check --fuzz] and the bench harness pick them up — but
+    exhaustive [check] on them will only ever cover a truncated slice. *)
+
+val ms_queue : Benchmark.t
+
+val treiber_stack : Benchmark.t
+
+val lockfree_set : Benchmark.t
+
+val spsc_queue : Benchmark.t
+
+(** All oversized workloads, registry order. *)
+val all : unit -> Benchmark.t list

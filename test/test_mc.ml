@@ -517,6 +517,96 @@ let test_spin_loop_terminates () =
   Alcotest.(check (list int)) "spin exits" [ 1 ] outs;
   Alcotest.(check bool) "some branches pruned" true (result.stats.pruned_loop_bound > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Bug.key deduplication: the explorer folds per-execution reports into
+   one list keyed by Bug.key, so the key must identify "the same bug
+   found again" (same sites, any action ids) without conflating distinct
+   bugs at the same location. *)
+
+let action ~id ~tid ~site ~loc kind : C11.Action.t =
+  {
+    id;
+    tid;
+    seq = id + 1;
+    kind;
+    loc;
+    mo = C11.Memory_order.Relaxed;
+    read_value = None;
+    written_value = None;
+    rf = None;
+    site;
+    clock = C11.Clock.empty;
+    release_clock = None;
+  }
+
+let test_bug_key_dedupes_across_ids () =
+  (* the same race rediscovered in another execution commits at different
+     action ids; the key must not depend on them *)
+  let race ~first_id ~second_id =
+    Mc.Bug.Data_race
+      {
+        first = action ~id:first_id ~tid:1 ~site:(Some "writer") ~loc:7 C11.Action.Na_store;
+        second = action ~id:second_id ~tid:2 ~site:(Some "reader") ~loc:7 C11.Action.Na_load;
+      }
+  in
+  Alcotest.(check string)
+    "same race at different ids dedupes"
+    (Mc.Bug.key (race ~first_id:3 ~second_id:8))
+    (Mc.Bug.key (race ~first_id:14 ~second_id:2))
+
+let test_bug_key_separates_kinds () =
+  (* distinct bug kinds at the same location must keep distinct keys *)
+  let a = action ~id:3 ~tid:1 ~site:(Some "reader") ~loc:7 C11.Action.Na_load in
+  let race =
+    Mc.Bug.Data_race
+      { first = action ~id:1 ~tid:2 ~site:(Some "reader") ~loc:7 C11.Action.Na_store; second = a }
+  in
+  let uninit = Mc.Bug.Uninitialized_load a in
+  Alcotest.(check bool)
+    "race and uninit at one location stay distinct" true
+    (Mc.Bug.key race <> Mc.Bug.key uninit)
+
+let test_bug_key_separates_sites () =
+  (* the same race shape between different site pairs is a different bug *)
+  let race s1 s2 =
+    Mc.Bug.Data_race
+      {
+        first = action ~id:0 ~tid:1 ~site:(Some s1) ~loc:7 C11.Action.Na_store;
+        second = action ~id:1 ~tid:2 ~site:(Some s2) ~loc:7 C11.Action.Na_load;
+      }
+  in
+  Alcotest.(check bool)
+    "different site pairs stay distinct" true
+    (Mc.Bug.key (race "enq_store" "deq_load") <> Mc.Bug.key (race "enq_store" "peek_load"))
+
+let test_bug_key_dedupes_in_exploration () =
+  (* end to end: a racy flag race fires on many interleavings, yet the
+     explorer reports it once *)
+  let main () =
+    let x = P.malloc ~init:0 1 in
+    let y = P.malloc ~init:0 1 in
+    (* the relaxed traffic on y multiplies interleavings; the na pair on
+       x races in every one of them *)
+    let t1 =
+      P.spawn (fun () ->
+          P.store Relaxed y 1;
+          P.na_store ~site:"w" x 1)
+    in
+    let t2 =
+      P.spawn (fun () ->
+          ignore (P.load Relaxed y);
+          ignore (P.na_load ~site:"r" x))
+    in
+    P.join t1;
+    P.join t2
+  in
+  let r = E.explore main in
+  let keys = List.map Mc.Bug.key r.bugs in
+  Alcotest.(check bool) "raced at all" true (r.stats.buggy >= 1);
+  Alcotest.(check bool) "buggy on several executions" true (r.stats.buggy > List.length r.bugs);
+  Alcotest.(check int) "deduplicated to distinct keys" (List.length keys)
+    (List.length (List.sort_uniq Stdlib.compare keys))
+
 let () =
   Alcotest.run "mc"
     [
@@ -561,5 +651,13 @@ let () =
         [
           Alcotest.test_case "counts" `Quick test_exploration_counts;
           Alcotest.test_case "spin loop terminates" `Quick test_spin_loop_terminates;
+        ] );
+      ( "bug-dedup",
+        [
+          Alcotest.test_case "same race, different ids" `Quick test_bug_key_dedupes_across_ids;
+          Alcotest.test_case "distinct kinds, same location" `Quick test_bug_key_separates_kinds;
+          Alcotest.test_case "distinct site pairs" `Quick test_bug_key_separates_sites;
+          Alcotest.test_case "explorer dedupes end to end" `Quick
+            test_bug_key_dedupes_in_exploration;
         ] );
     ]
