@@ -10,6 +10,7 @@
      bench/main.exe ablation   design-choice ablations
      bench/main.exe timing     wall-clock timing per Figure-7 row; writes BENCH_PR1.json
      bench/main.exe fuzz       randomized vs exhaustive exploration; writes BENCH_PR2.json
+     bench/main.exe lint       memory-order lint + weakening advisor; writes BENCH_PR3.json
 
    `--jobs N` (or CDSSPEC_JOBS=N) runs every exploration on N domains;
    0 means one per recommended core. The timing job records the jobs
@@ -404,6 +405,122 @@ let run_fuzz () =
   in
   write_fuzz_json buggy throughput
 
+(* ------------------------------------------------------------------ *)
+(* Lint: the PR-3 static-analysis layer. Run the fact collection, the
+   lint rules and the full weakening advisor over a spread of registry
+   structures, and emit BENCH_PR3.json: advisor wall time and verdict
+   counts per structure. Per-candidate re-explorations reuse
+   Mc.Parallel via the jobs knob.                                      *)
+
+let lint_json_file = "BENCH_PR3.json"
+let lint_max_execs = 10_000
+
+type lint_row = {
+  lr_bench : string;
+  lr_findings : int;
+  lr_baseline_wall_s : float;
+  lr_advisor_wall_s : float;
+  lr_candidates : int;
+  lr_safe : int;
+  lr_changing : int;
+  lr_violating : int;
+  lr_agree : int;  (* first-rung verdicts matching the lint prediction *)
+  lr_disagree : int;
+}
+
+let lint_benches =
+  List.filter_map Structures.Registry.find
+    [
+      "SPSC Queue";
+      "RCU";
+      "Ticket Lock";
+      "Atomic Register";
+      "Contention-Free Lock";
+      "Treiber Stack";
+      "Lamport Ring";
+      "CLH Lock";
+      "Lazy Init";
+      "Seqlock";
+    ]
+
+let lint_one (b : B.t) =
+  let cfg =
+    {
+      Analyze.Access_summary.default_config with
+      max_executions = Some lint_max_execs;
+      jobs = !jobs;
+    }
+  in
+  let summary = Analyze.Access_summary.collect ~config:cfg b in
+  let findings = Analyze.Lint.lint summary in
+  let wcfg =
+    { Analyze.Weaken.default_config with max_executions = Some lint_max_execs; jobs = !jobs }
+  in
+  let advice = Analyze.Weaken.advise ~config:wcfg ~findings b ~summary in
+  let count p = List.length (List.filter p advice.candidates) in
+  {
+    lr_bench = b.name;
+    lr_findings = List.length findings;
+    lr_baseline_wall_s = summary.time;
+    lr_advisor_wall_s = advice.time;
+    lr_candidates = List.length advice.candidates;
+    lr_safe =
+      count (fun (c : Analyze.Weaken.candidate) -> c.verdict = Analyze.Weaken.Safe_to_weaken);
+    lr_changing =
+      count (fun (c : Analyze.Weaken.candidate) ->
+          match c.verdict with Analyze.Weaken.Behaviour_changing _ -> true | _ -> false);
+    lr_violating =
+      count (fun (c : Analyze.Weaken.candidate) ->
+          match c.verdict with Analyze.Weaken.Spec_violating _ -> true | _ -> false);
+    lr_agree =
+      count (fun (c : Analyze.Weaken.candidate) -> c.agrees_with_lint = Some true);
+    lr_disagree =
+      count (fun (c : Analyze.Weaken.candidate) -> c.agrees_with_lint = Some false);
+  }
+
+let write_lint_json rows =
+  let path =
+    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> lint_json_file
+  in
+  let oc = open_out path in
+  let total = List.fold_left (fun acc r -> acc +. r.lr_advisor_wall_s) 0. rows in
+  Printf.fprintf oc
+    "{\n  \"pr\": 3,\n  \"jobs\": %d,\n  \"max_executions\": %d,\n  \"total_advisor_wall_s\": \
+     %.3f,\n  \"structures\": [\n"
+    !jobs lint_max_execs total;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"lint_findings\": %d, \"baseline_wall_s\": %.4f, \
+         \"advisor_wall_s\": %.4f, \"candidates\": %d, \"safe_to_weaken\": %d, \
+         \"behaviour_changing\": %d, \"spec_violating\": %d, \"lint_agreements\": %d, \
+         \"lint_disagreements\": %d}%s\n"
+        r.lr_bench r.lr_findings r.lr_baseline_wall_s r.lr_advisor_wall_s r.lr_candidates
+        r.lr_safe r.lr_changing r.lr_violating r.lr_agree r.lr_disagree
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (jobs=%d)@." path !jobs
+
+let run_lint () =
+  section
+    (Printf.sprintf "Lint + weakening advisor (max %d execs per test, jobs=%d)" lint_max_execs
+       !jobs);
+  Format.printf "%-22s %8s %10s %10s %11s %5s %9s %10s %6s@." "Benchmark" "findings" "base (s)"
+    "advise (s)" "candidates" "safe" "changing" "violating" "agree";
+  let rows =
+    List.map
+      (fun b ->
+        let r = lint_one b in
+        Format.printf "%-22s %8d %10.3f %10.3f %11d %5d %9d %10d %3d/%d@." r.lr_bench
+          r.lr_findings r.lr_baseline_wall_s r.lr_advisor_wall_s r.lr_candidates r.lr_safe
+          r.lr_changing r.lr_violating r.lr_agree (r.lr_agree + r.lr_disagree);
+        r)
+      lint_benches
+  in
+  write_lint_json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* split --jobs N / --jobs=N / -j N off the job-name list *)
@@ -432,7 +549,8 @@ let () =
     exit 2);
   let names = try parse [] args with Failure msg -> prerr_endline msg; exit 2 in
   let names =
-    if names = [] then [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing"; "fuzz" ] else names
+    if names = [] then [ "fig7"; "fig8"; "expr"; "known"; "ablation"; "timing"; "fuzz"; "lint" ]
+    else names
   in
   List.iter
     (fun job ->
@@ -444,6 +562,7 @@ let () =
       | "ablation" -> run_ablation ()
       | "timing" -> run_timing ()
       | "fuzz" -> run_fuzz ()
+      | "lint" -> run_lint ()
       | other ->
-        Format.printf "unknown job %S (fig7|fig8|expr|known|ablation|timing|fuzz)@." other)
+        Format.printf "unknown job %S (fig7|fig8|expr|known|ablation|timing|fuzz|lint)@." other)
     names

@@ -24,7 +24,9 @@ let list_cmd () =
            (List.map
               (fun (s : Structures.Ords.site) ->
                 Printf.sprintf "%s:%s" s.name (C11.Memory_order.to_string s.order))
-              b.sites)))
+              (Structures.Registry.sites b)));
+      let weakenable, total = Structures.Registry.advisor_coverage b in
+      Format.printf "%-22s advisor: %d/%d sites weakenable@." "" weakenable total)
     Structures.Registry.all;
   0
 
@@ -195,6 +197,100 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs fuzzi
           if !any_bug then `Bug else `Ok
         end))
 
+(* The static-analysis pass: aggregate per-site facts, run the lint
+   rules and (with --advise) the counterexample-guided weakening
+   advisor. Exit codes are CI-friendly: 1 iff an error-severity finding
+   (a violation under the published orders) exists. *)
+let lint_cmd name all json advise max_execs time_budget jobs only_sites dot_dir =
+  let benches =
+    if all then Ok Structures.Registry.exhaustive
+    else
+      match name with
+      | Some n -> Result.map (fun b -> [ b ]) (find_bench n)
+      | None -> Error (`Msg "lint: name a benchmark or pass --all")
+  in
+  match benches with
+  | Error e -> e
+  | Ok benches ->
+    let t0 = Mc.Monotonic.now () in
+    let remaining () =
+      Option.map (fun budget -> Float.max 0. (budget -. (Mc.Monotonic.now () -. t0))) time_budget
+    in
+    let any_error = ref false in
+    let reports =
+      List.filter_map
+        (fun (b : B.t) ->
+          match remaining () with
+          | Some r when r <= 0. ->
+            if not json then Format.printf "== %s == skipped (time budget exhausted)@." b.name;
+            None
+          | budget ->
+            let scfg =
+              {
+                Analyze.Access_summary.default_config with
+                max_executions = max_execs;
+                time_budget = budget;
+                jobs;
+              }
+            in
+            let summary = Analyze.Access_summary.collect ~config:scfg b in
+            let findings = Analyze.Lint.lint summary in
+            if Analyze.Lint.max_severity findings = Some Analyze.Lint.Error then
+              any_error := true;
+            let advice =
+              if advise then
+                let wcfg =
+                  {
+                    Analyze.Weaken.default_config with
+                    max_executions = max_execs;
+                    time_budget = remaining ();
+                    jobs;
+                  }
+                in
+                Some (Analyze.Weaken.advise ~config:wcfg ?only_sites ~findings b ~summary)
+              else None
+            in
+            (match (advice, dot_dir) with
+            | Some a, Some dir ->
+              List.iter
+                (fun (c : Analyze.Weaken.candidate) ->
+                  match c.witness_exec with
+                  | Some exec ->
+                    let sanitize s =
+                      String.map (fun ch -> if ch = ' ' || ch = '/' then '-' else ch) s
+                    in
+                    let path =
+                      Filename.concat dir
+                        (Printf.sprintf "%s-%s-%s.dot" (sanitize b.name) (sanitize c.site)
+                           (C11.Memory_order.to_string c.to_order))
+                    in
+                    (* cite the rf edges touching the weakened site *)
+                    let highlight = ref [] in
+                    for id = 0 to C11.Execution.num_actions exec - 1 do
+                      let act = C11.Execution.action exec id in
+                      match act.rf with
+                      | Some src ->
+                        let w = C11.Execution.action exec src in
+                        if act.site = Some c.site || w.site = Some c.site then
+                          highlight := (src, id) :: !highlight
+                      | None -> ()
+                    done;
+                    C11.Dot.write_file ~highlight:!highlight ~highlight_sites:[ c.site ] exec
+                      path;
+                    if not json then Format.printf "  wrote %s@." path
+                  | None -> ())
+                a.candidates
+            | _ -> ());
+            Some { Analyze.Report.summary; findings; advice })
+        benches
+    in
+    if json then
+      print_string
+        (Analyze.Json.to_string
+           (Analyze.Report.wrap (List.map (Analyze.Report.to_json ~timings:true) reports)))
+    else List.iter (Format.printf "%a" Analyze.Report.pp) reports;
+    if !any_error then `Bug else `Ok
+
 let inject_cmd name jobs =
   match find_bench name with
   | Error e -> e
@@ -359,10 +455,75 @@ let check_term =
     $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ fuzzing_term
     $ replay)
 
+let lint_term =
+  let bench = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Lint every exhaustively-explorable registry benchmark (the CI sweep).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the versioned machine-readable report (schema $(b,cdsspec-lint/1)) instead of \
+             text.")
+  in
+  let advise =
+    Arg.(
+      value & flag
+      & info [ "advise" ]
+          ~doc:
+            "Run the counterexample-guided weakening advisor: re-explore each weakenable site's \
+             full downgrade chain and classify it safe-to-weaken, behaviour-changing or \
+             spec-violating (with a replayable witness).")
+  in
+  let max_execs =
+    Arg.(
+      value
+      & opt (some int) (Some 200_000)
+      & info [ "max-executions" ] ~docv:"N"
+          ~doc:"Per-test exploration cap, for both the fact collection and each advisor candidate.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Overall wall-clock budget; benchmarks/candidates beyond it are skipped.")
+  in
+  let sites =
+    Arg.(
+      value & opt_all string []
+      & info [ "site" ] ~docv:"SITE" ~doc:"Restrict the advisor to these sites (repeatable).")
+  in
+  let dot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write each spec-violating witness execution as Graphviz DOT into $(docv), with the \
+             weakened site's actions and its reads-from edges highlighted.")
+  in
+  Term.(
+    const (fun name all json advise max_execs time_budget jobs sites dot_dir ->
+        let only_sites = match sites with [] -> None | l -> Some l in
+        exit_of (lint_cmd name all json advise max_execs time_budget jobs only_sites dot_dir))
+    $ bench $ all $ json $ advise $ max_execs $ time_budget $ jobs_term $ sites $ dot_dir)
+
 let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List benchmarks, unit tests and memory-order sites.")
       Term.(const list_cmd $ const ());
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Aggregate per-site dynamic facts across all feasible executions, report memory-order \
+            lint findings, and optionally advise which sites are provably weakenable.")
+      lint_term;
     Cmd.v
       (Cmd.info "check"
          ~doc:"Model-check a benchmark's unit tests against its CDSSpec specification.")

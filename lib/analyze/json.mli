@@ -1,0 +1,16 @@
+(** Minimal JSON document builder for the lint report's machine-readable
+    output. Hand-rolled (like the bench JSON emitters) so the repo stays
+    dependency-free; the printer is deterministic, which lets the test
+    suite pin the schema byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Pretty-printed with two-space indentation and a trailing newline. *)
+val to_string : t -> string

@@ -1,0 +1,187 @@
+module AS = Access_summary
+module Mo = C11.Memory_order
+
+type severity = Info | Advice | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Advice -> "advice"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Advice -> 1 | Warning -> 2 | Error -> 3
+
+type finding = {
+  rule : string;
+  severity : severity;
+  site : string option;
+  message : string;
+  evidence : string option;
+}
+
+(* The advice rules that predict a site is over-synchronized: the
+   weakening advisor checks its empirical verdicts against these. *)
+let weakening_rules =
+  [
+    "release-never-synchronizes";
+    "acquire-never-gains";
+    "seq-cst-unconstrained";
+    "single-thread-atomic";
+  ]
+
+let predicts_weakenable findings site =
+  List.exists (fun f -> f.site = Some site && List.mem f.rule weakening_rules) findings
+
+let max_severity findings =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | None -> Some f.severity
+      | Some s -> if severity_rank f.severity > severity_rank s then Some f.severity else acc)
+    None findings
+
+let site_findings (x : AS.site_summary) =
+  let s = x.site in
+  let name = s.name in
+  let order = Mo.to_string s.order in
+  let f rule severity message evidence = { rule; severity; site = Some name; message; evidence } in
+  if x.occurrences = 0 then
+    [
+      f "site-never-executed" Info
+        "never executed by any unit test; lint facts and advisor verdicts are vacuous for this \
+         site"
+        None;
+    ]
+  else begin
+    let out = ref [] in
+    let add x = out := x :: !out in
+    if Mo.is_release s.order && x.release_writes > 0 && x.sw_carried = 0 then
+      add
+        (f "release-never-synchronizes" Advice
+           (if x.sw_edges = 0 then
+              Printf.sprintf
+                "%s write: %d release writes across %d executions, but no acquire read ever \
+                 synchronized with one"
+                order x.release_writes x.executions
+            else
+              Printf.sprintf
+                "%s write: %d sw edges formed, but none ever carried a happens-before obligation \
+                 the reader lacked"
+                order x.sw_edges)
+           x.sample_exec);
+    if Mo.is_acquire s.order && (s.kind = Mo.For_load || s.kind = Mo.For_rmw)
+       && x.acquire_reads > 0 && x.acquire_gained = 0
+    then
+      add
+        (f "acquire-never-gains" Advice
+           (Printf.sprintf
+              "%s read: %d acquire reads, none ever learned an ordering fact program order did \
+               not already give it"
+              order x.acquire_reads)
+           x.sample_exec);
+    if Mo.is_seq_cst s.order && x.sc_ops > 0 && x.sc_constrained = 0 then
+      add
+        (f "seq-cst-unconstrained" Advice
+           (Printf.sprintf
+              "%d seq_cst ops, none ever met a concurrent seq_cst write/fence the SC total order \
+               had to arbitrate"
+              x.sc_ops)
+           x.sample_exec);
+    (match x.publish_evidence with
+    | Some (evidence, (w, r)) when s.kind = Mo.For_rmw && not (Mo.is_release s.order) ->
+      add
+        (f "relaxed-rmw-publishes" Warning
+           (Printf.sprintf
+              "%s RMW published a value read by another thread %d time(s) with no sw edge (e.g. \
+               action #%d read by #%d); readers get no happens-before ordering"
+              order x.relaxed_published w r)
+           (Some evidence))
+    | Some (evidence, (w, r)) when s.kind = Mo.For_store && not (Mo.is_release s.order) ->
+      add
+        (f "relaxed-store-publishes" Info
+           (Printf.sprintf
+              "%s store read cross-thread %d time(s) with no sw edge (e.g. action #%d read by \
+               #%d); fine if the value is self-contained, an ordering bug if it publishes an \
+               object"
+              order x.relaxed_published w r)
+           (Some evidence))
+    | _ -> ());
+    if x.single_thread && s.order <> Mo.Relaxed then
+      add
+        (f "single-thread-atomic" Advice
+           (if x.access_tids <= 1 then
+              "only one thread ever touches this site's locations; the atomic order buys nothing"
+            else
+              "every conflicting cross-thread access pair on this site's locations is already \
+               happens-before ordered by other synchronization; the declared order buys nothing")
+           x.sample_exec);
+    List.rev !out
+  end
+
+let lint (s : AS.t) : finding list =
+  let baseline =
+    match s.bugs with
+    | [] -> []
+    | bugs ->
+      let race_detail =
+        match s.races with
+        | [] -> ""
+        | races ->
+          let pp_site = function Some x -> x | None -> "<unsited>" in
+          Printf.sprintf " (racing sites: %s)"
+            (String.concat "; "
+               (List.map (fun (a, b) -> pp_site a ^ " vs " ^ pp_site b) races))
+      in
+      List.map
+        (fun bug ->
+          {
+            rule = "spec-violating-baseline";
+            severity = Error;
+            site = None;
+            message =
+              Printf.sprintf "published orders already violate the checker: %s%s"
+                (Mc.Bug.key bug) race_detail;
+            evidence = None;
+          })
+        bugs
+  in
+  let per_site = List.concat_map site_findings s.sites in
+  let methods =
+    List.filter_map
+      (fun (m : AS.method_summary) ->
+        if m.calls > 0 && m.calls_with_op = 0 then
+          Some
+            {
+              rule = "no-ordering-point";
+              severity = Warning;
+              site = None;
+              message =
+                Printf.sprintf
+                  "method %s: %d calls, none designated an ordering point; the checker cannot \
+                   position these calls in the ordering relation"
+                  m.method_name m.calls;
+              evidence = None;
+            }
+        else None)
+      s.methods
+  in
+  let rules =
+    List.filter_map
+      (fun (r : AS.rule_summary) ->
+        if r.exercised = 0 then
+          Some
+            {
+              rule = "admissibility-rule-unexercised";
+              severity = Info;
+              site = None;
+              message =
+                Printf.sprintf
+                  "admissibility rule %s <-> %s never saw an unordered matching call pair; the \
+                   workload does not exercise it"
+                  r.rule_first r.rule_second;
+              evidence = None;
+            }
+        else None)
+      s.rules
+  in
+  baseline @ per_site @ methods @ rules

@@ -1,0 +1,36 @@
+(** The rule engine over {!Access_summary} fact bases: each rule turns an
+    aggregate dynamic fact ("this release store's sw edges never carried
+    an hb obligation") into a structured finding with a stable rule id,
+    a severity, the site concerned and a pretty-printed evidence
+    execution where one exists.
+
+    Severities: [Error] findings (a spec/builtin violation under the
+    published orders) fail CI; [Warning]s flag suspicious publication
+    patterns; [Advice] marks sites whose declared order looks stronger
+    than the workload needs — exactly the candidates the {!Weaken}
+    advisor re-explores; [Info] is housekeeping (dead sites, unexercised
+    spec clauses). *)
+
+type severity = Info | Advice | Warning | Error
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+
+type finding = {
+  rule : string;
+  severity : severity;
+  site : string option;  (** None for spec-level findings *)
+  message : string;
+  evidence : string option;  (** pretty-printed evidence execution *)
+}
+
+(** All rules, in deterministic order: baseline violations, then per-site
+    rules in site-declaration order, then spec lints. *)
+val lint : Access_summary.t -> finding list
+
+(** Does some advice-class finding predict that [site] can be weakened?
+    The advisor cross-checks its verdicts against this. *)
+val predicts_weakenable : finding list -> string -> bool
+
+(** Highest severity present, [None] on a clean report. *)
+val max_severity : finding list -> severity option

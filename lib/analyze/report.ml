@@ -1,0 +1,178 @@
+module AS = Access_summary
+module Mo = C11.Memory_order
+
+let schema_version = "cdsspec-lint/1"
+
+type t = {
+  summary : AS.t;
+  findings : Lint.finding list;
+  advice : Weaken.report option;
+}
+
+let kind_to_string : Mo.op_kind -> string = function
+  | For_load -> "load"
+  | For_store -> "store"
+  | For_rmw -> "rmw"
+  | For_fence -> "fence"
+
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+
+let site_json (x : AS.site_summary) =
+  Json.Obj
+    [
+      ("name", Json.Str x.site.name);
+      ("kind", Json.Str (kind_to_string x.site.kind));
+      ("order", Json.Str (Mo.to_string x.site.order));
+      ("occurrences", Json.Int x.occurrences);
+      ("executions", Json.Int x.executions);
+      ("release_writes", Json.Int x.release_writes);
+      ("sw_edges", Json.Int x.sw_edges);
+      ("sw_carried", Json.Int x.sw_carried);
+      ("acquire_reads", Json.Int x.acquire_reads);
+      ("acquire_gained", Json.Int x.acquire_gained);
+      ("sc_ops", Json.Int x.sc_ops);
+      ("sc_constrained", Json.Int x.sc_constrained);
+      ("cross_thread_reads", Json.Int x.cross_thread_reads);
+      ("relaxed_published", Json.Int x.relaxed_published);
+      ("access_tids", Json.Int x.access_tids);
+      ("single_thread", Json.Bool x.single_thread);
+    ]
+
+let finding_json (f : Lint.finding) =
+  Json.Obj
+    [
+      ("rule", Json.Str f.rule);
+      ("severity", Json.Str (Lint.severity_to_string f.severity));
+      ("site", opt_str f.site);
+      ("message", Json.Str f.message);
+      ("evidence", opt_str f.evidence);
+    ]
+
+let candidate_json ~timings (c : Weaken.candidate) =
+  let verdict_fields =
+    match c.verdict with
+    | Weaken.Safe_to_weaken -> [ ("verdict", Json.Str "safe-to-weaken") ]
+    | Weaken.Behaviour_changing { new_behaviours; lost_behaviours } ->
+      [
+        ("verdict", Json.Str "behaviour-changing");
+        ("new_behaviours", Json.Int new_behaviours);
+        ("lost_behaviours", Json.Int lost_behaviours);
+      ]
+    | Weaken.Spec_violating { bug; witness; witness_test } ->
+      [
+        ("verdict", Json.Str "spec-violating");
+        ("bug", Json.Str bug);
+        ("witness", opt_str witness);
+        ("witness_test", opt_str witness_test);
+      ]
+  in
+  Json.Obj
+    ([
+       ("site", Json.Str c.site);
+       ("from", Json.Str (Mo.to_string c.from_order));
+       ("to", Json.Str (Mo.to_string c.to_order));
+     ]
+    @ verdict_fields
+    @ [
+        ("explored", Json.Int c.explored);
+        ("time_s", Json.Float (if timings then c.time else 0.));
+        ("lint_predicted", Json.Bool c.lint_predicted);
+        ( "agrees_with_lint",
+          match c.agrees_with_lint with None -> Json.Null | Some b -> Json.Bool b );
+      ])
+
+let to_json ?(timings = true) (r : t) =
+  let s = r.summary in
+  Json.Obj
+    [
+      ("bench", Json.Str s.bench);
+      ( "summary",
+        Json.Obj
+          [
+            ("explored", Json.Int s.explored);
+            ("feasible", Json.Int s.feasible);
+            ("buggy", Json.Int s.buggy);
+            ("truncated", Json.Bool s.truncated);
+            ("time_s", Json.Float (if timings then s.time else 0.));
+            ("sites", Json.List (List.map site_json s.sites));
+            ( "methods",
+              Json.List
+                (List.map
+                   (fun (m : AS.method_summary) ->
+                     Json.Obj
+                       [
+                         ("name", Json.Str m.method_name);
+                         ("calls", Json.Int m.calls);
+                         ("calls_with_ordering_point", Json.Int m.calls_with_op);
+                       ])
+                   s.methods) );
+            ( "admissibility_rules",
+              Json.List
+                (List.map
+                   (fun (ru : AS.rule_summary) ->
+                     Json.Obj
+                       [
+                         ("first", Json.Str ru.rule_first);
+                         ("second", Json.Str ru.rule_second);
+                         ("exercised", Json.Int ru.exercised);
+                       ])
+                   s.rules) );
+          ] );
+      ("findings", Json.List (List.map finding_json r.findings));
+      ( "advice",
+        match r.advice with
+        | None -> Json.Null
+        | Some a ->
+          Json.Obj
+            [
+              ("baseline_behaviours", Json.Int a.baseline_behaviours);
+              ("truncated", Json.Bool a.truncated);
+              ("time_s", Json.Float (if timings then a.time else 0.));
+              ("candidates", Json.List (List.map (candidate_json ~timings) a.candidates));
+            ] );
+    ]
+
+let wrap reports =
+  Json.Obj [ ("schema", Json.Str schema_version); ("reports", Json.List reports) ]
+
+let pp ppf (r : t) =
+  let s = r.summary in
+  Format.fprintf ppf "== %s ==@." s.bench;
+  Format.fprintf ppf "  explored %d executions (%d feasible, %d buggy) in %.2fs%s@." s.explored
+    s.feasible s.buggy s.time
+    (if s.truncated then " (truncated)" else "");
+  if r.findings = [] then Format.fprintf ppf "  no findings@."
+  else begin
+    Format.fprintf ppf "  findings:@.";
+    List.iter
+      (fun (f : Lint.finding) ->
+        Format.fprintf ppf "    %-8s %-28s %s%s@."
+          (Lint.severity_to_string f.severity)
+          f.rule
+          (match f.site with Some site -> site ^ ": " | None -> "")
+          f.message)
+      r.findings
+  end;
+  match r.advice with
+  | None -> ()
+  | Some a ->
+    Format.fprintf ppf "  advisor: baseline %d behaviours, %d candidates in %.2fs%s@."
+      a.baseline_behaviours (List.length a.candidates) a.time
+      (if a.truncated then " (truncated)" else "");
+    List.iter
+      (fun (c : Weaken.candidate) ->
+        Format.fprintf ppf "    %-24s %-8s -> %-8s %-28s%s@." c.site
+          (Mo.to_string c.from_order) (Mo.to_string c.to_order)
+          (Weaken.verdict_to_string c.verdict)
+          (match c.verdict with
+          | Weaken.Spec_violating { witness = Some w; witness_test; _ } ->
+            Printf.sprintf " witness: --replay %s%s" w
+              (match witness_test with Some t -> Printf.sprintf " (test %s)" t | None -> "")
+          | _ -> ""))
+      a.candidates;
+    let disagreements =
+      List.filter (fun (c : Weaken.candidate) -> c.agrees_with_lint = Some false) a.candidates
+    in
+    if disagreements <> [] then
+      Format.fprintf ppf "  lint/advisor disagreement on: %s@."
+        (String.concat ", " (List.map (fun (c : Weaken.candidate) -> c.site) disagreements))

@@ -1,0 +1,25 @@
+(** Rendering of a lint run — the {!Access_summary} facts, the {!Lint}
+    findings and optionally the {!Weaken} advice — as human-readable text
+    and as versioned machine-readable JSON.
+
+    The JSON schema is [cdsspec-lint/1] and is pinned byte-for-byte by
+    [test/test_analyze.ml]; bump the version string on any shape change.
+    [~timings:false] zeroes the wall-clock fields so output is
+    deterministic (the golden test and diff-friendly CI logs use it). *)
+
+val schema_version : string
+
+type t = {
+  summary : Access_summary.t;
+  findings : Lint.finding list;
+  advice : Weaken.report option;
+}
+
+(** One benchmark's report as a JSON object. *)
+val to_json : ?timings:bool -> t -> Json.t
+
+(** The top-level document: [{ "schema": ..., "reports": [...] }]. *)
+val wrap : Json.t list -> Json.t
+
+(** Human-readable rendering, one block per benchmark. *)
+val pp : Format.formatter -> t -> unit

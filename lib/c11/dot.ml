@@ -6,7 +6,21 @@ let escape s =
 
 let node_label (a : Action.t) = escape (Fmt.str "%a" Action.pp a)
 
-let render exec =
+(* A read synchronizes with its writer when it is an acquire and the
+   writer heads (or sits inside) a release sequence: exactly the
+   condition under which Execution joined the writer's release clock. *)
+let sw_edge exec (a : Action.t) =
+  if not (Action.is_atomic_read a && Memory_order.is_acquire a.mo) then None
+  else
+    match a.rf with
+    | None -> None
+    | Some src ->
+      let w = Execution.action exec src in
+      if w.release_clock <> None then Some (src, a.id) else None
+
+let render ?(highlight = []) ?(highlight_sites = []) exec =
+  let cited (src, dst) = List.mem (src, dst) highlight in
+  let extra e = if cited e then ", color=red, penwidth=2.2" else "" in
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "digraph execution {\n";
@@ -14,7 +28,9 @@ let render exec =
   let n = Execution.num_actions exec in
   let actions = List.init n (Execution.action exec) in
   let tids = List.sort_uniq compare (List.map (fun (a : Action.t) -> a.tid) actions) in
-  (* per-thread clusters in program order *)
+  (* per-thread clusters in program order; sited actions carry their
+     Ords site name in the label (via Action.pp) and lint-cited sites
+     are filled so advisor witnesses read at a glance *)
   List.iter
     (fun tid ->
       pr "  subgraph cluster_t%d {\n    label=\"T%d\";\n" tid tid;
@@ -23,7 +39,15 @@ let render exec =
           (fun (a : Action.t) (b : Action.t) -> compare a.seq b.seq)
           (List.filter (fun (a : Action.t) -> a.tid = tid) actions)
       in
-      List.iter (fun (a : Action.t) -> pr "    a%d [label=\"%s\"];\n" a.id (node_label a)) mine;
+      List.iter
+        (fun (a : Action.t) ->
+          let marked =
+            match a.site with Some s -> List.mem s highlight_sites | None -> false
+          in
+          if marked then
+            pr "    a%d [label=\"%s\", style=filled, fillcolor=khaki];\n" a.id (node_label a)
+          else pr "    a%d [label=\"%s\"];\n" a.id (node_label a))
+        mine;
       let rec chain = function
         | (a : Action.t) :: (b : Action.t) :: rest ->
           pr "    a%d -> a%d [style=bold, color=gray40];\n" a.id b.id;
@@ -33,11 +57,17 @@ let render exec =
       chain mine;
       pr "  }\n")
     tids;
-  (* reads-from *)
+  (* reads-from; synchronizing reads are labelled rf+sw in blue *)
   List.iter
     (fun (a : Action.t) ->
       match a.rf with
-      | Some src -> pr "  a%d -> a%d [color=darkgreen, label=\"rf\", fontsize=8];\n" src a.id
+      | Some src ->
+        (match sw_edge exec a with
+        | Some e ->
+          pr "  a%d -> a%d [color=blue, label=\"rf+sw\", fontsize=8%s];\n" src a.id (extra e)
+        | None ->
+          pr "  a%d -> a%d [color=darkgreen, label=\"rf\", fontsize=8%s];\n" src a.id
+            (extra (src, a.id)))
       | None -> ())
     actions;
   (* per-location modification order (commit order of writes) *)
@@ -47,16 +77,33 @@ let render exec =
       let writes = List.filter (fun (a : Action.t) -> Action.is_write a && a.loc = loc) actions in
       let rec chain = function
         | (a : Action.t) :: (b : Action.t) :: rest ->
-          pr "  a%d -> a%d [style=dashed, color=orange, label=\"mo\", fontsize=8];\n" a.id b.id;
+          pr "  a%d -> a%d [style=dashed, color=orange, label=\"mo\", fontsize=8%s];\n" a.id b.id
+            (extra (a.id, b.id));
           chain (b :: rest)
         | _ -> ()
       in
       chain writes)
     locs;
+  (* cited edges that coincide with no rf/mo edge: draw as bare hb *)
+  let drawn (src, dst) =
+    (match (Execution.action exec dst).rf with Some s when s = src -> true | _ -> false)
+    || List.exists
+         (fun (a : Action.t) ->
+           Action.is_write a && a.id = src
+           && List.exists
+                (fun (b : Action.t) -> Action.is_write b && b.id = dst && b.loc = a.loc)
+                actions)
+         actions
+  in
+  List.iter
+    (fun (src, dst) ->
+      if (not (drawn (src, dst))) && src < n && dst < n then
+        pr "  a%d -> a%d [color=red, style=dashed, label=\"hb\", fontsize=8, penwidth=2.2];\n" src dst)
+    highlight;
   pr "}\n";
   Buffer.contents buf
 
-let write_file exec path =
+let write_file ?highlight ?highlight_sites exec path =
   let oc = open_out path in
-  output_string oc (render exec);
+  output_string oc (render ?highlight ?highlight_sites exec);
   close_out oc

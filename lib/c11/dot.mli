@@ -1,11 +1,24 @@
 (** Graphviz rendering of execution graphs: one cluster per thread with
-    actions in program order, reads-from edges (green), per-location
-    modification-order edges (dashed), and synchronizes-with-carrying
-    reads highlighted. Useful for inspecting the buggy executions the
-    checker reports. *)
+    actions in program order (labels carry the Ords site names), reads-from
+    edges (green, or blue [rf+sw] when the read synchronizes with its
+    writer), and per-location modification-order edges (dashed). Useful
+    for inspecting the buggy executions the checker and the weakening
+    advisor report. *)
 
-(** [render exec] is a complete DOT document. *)
-val render : Execution.t -> string
+(** [render exec] is a complete DOT document.
+
+    [highlight] lists [(src_id, dst_id)] edges cited as lint/advisor
+    evidence: matching rf/mo edges are drawn red and thick, and cited
+    pairs that coincide with no drawn edge appear as dashed red [hb]
+    edges. [highlight_sites] fills every action belonging to the named
+    Ords sites, so a witness trace shows the weakened site at a glance. *)
+val render :
+  ?highlight:(int * int) list -> ?highlight_sites:string list -> Execution.t -> string
 
 (** [write_file exec path] renders into [path]. *)
-val write_file : Execution.t -> string -> unit
+val write_file :
+  ?highlight:(int * int) list ->
+  ?highlight_sites:string list ->
+  Execution.t ->
+  string ->
+  unit

@@ -11,6 +11,7 @@ type handle = { mine : P.loc }
 
 let sites =
   [
+    Ords.site "lock_init_busy" For_store Relaxed;
     Ords.site "lock_xchg_tail" For_rmw Acq_rel;
     Ords.site "lock_spin_pred" For_load Acquire;
     Ords.site "unlock_store_busy" For_store Release;
@@ -30,7 +31,7 @@ let o = Ords.get
 let lock ords l =
   A.api_call ~obj:l.tail ~name:"lock" ~args:[] (fun () ->
       let mine = P.malloc 1 in
-      P.store Relaxed mine 1;
+      P.store ~site:"lock_init_busy" (o ords "lock_init_busy") mine 1;
       (* busy *)
       let pred = P.exchange ~site:"lock_xchg_tail" (o ords "lock_xchg_tail") l.tail mine in
       A.op_define ();

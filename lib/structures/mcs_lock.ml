@@ -12,6 +12,8 @@ type node = P.loc
 
 let sites =
   [
+    Ords.site "lock_init_next" For_store Relaxed;
+    Ords.site "lock_init_locked" For_store Relaxed;
     Ords.site "lock_xchg_tail" For_rmw Acq_rel;
     Ords.site "lock_store_prednext" For_store Release;
     Ords.site "lock_spin_locked" For_load Acquire;
@@ -37,8 +39,8 @@ let o = Ords.get
 
 let lock ords l me =
   A.api_proc ~obj:l.tail ~name:"lock" ~args:[] (fun () ->
-      P.store Relaxed (f_next me) 0;
-      P.store Relaxed (f_locked me) 1;
+      P.store ~site:"lock_init_next" (o ords "lock_init_next") (f_next me) 0;
+      P.store ~site:"lock_init_locked" (o ords "lock_init_locked") (f_locked me) 1;
       let pred = P.exchange ~site:"lock_xchg_tail" (o ords "lock_xchg_tail") l.tail me in
       if pred = 0 then A.op_define () (* uncontended: the exchange is the OP *)
       else begin

@@ -28,6 +28,14 @@ let weakened sites name =
     | Some weaker ->
       Some (table (List.map (fun s -> (s.name, if s.name = name then weaker else s.order)) sites)))
 
+let downgrades (s : site) =
+  let rec chain o acc =
+    match Mo.weaken s.kind o with
+    | None -> List.rev acc
+    | Some w -> chain w (w :: acc)
+  in
+  chain s.order []
+
 let with_order sites name order =
   if not (List.exists (fun s -> s.name = name) sites) then
     invalid_arg ("Ords.with_order: unknown site " ^ name);

@@ -22,6 +22,12 @@ val default : site list -> t
     the site is already relaxed. *)
 val weakened : site list -> string -> t option
 
+(** [downgrades s] is the full weakening chain below [s]'s published
+    order, strongest first (e.g. a seq_cst RMW yields
+    [acq_rel; release; relaxed]); empty when the site is already relaxed.
+    The advisor explores every rung, not just the first. *)
+val downgrades : site -> C11.Memory_order.t list
+
 (** [with_order sites name order] pins one site to an arbitrary order. *)
 val with_order : site list -> string -> C11.Memory_order.t -> t
 

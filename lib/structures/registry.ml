@@ -32,3 +32,15 @@ let all =
   ]
 
 let find name = List.find_opt (fun (b : Benchmark.t) -> b.name = name) all
+
+(* The registry minus the fuzz-only oversized workloads: every entry
+   here can be explored exhaustively under its scheduler bounds, which
+   is what the lint/advisor pass and the CI lint job iterate over. *)
+let exhaustive =
+  let oversized = List.map (fun (b : Benchmark.t) -> b.name) (Oversized.all ()) in
+  List.filter (fun (b : Benchmark.t) -> not (List.mem b.name oversized)) all
+
+let sites (b : Benchmark.t) = b.sites
+
+let advisor_coverage (b : Benchmark.t) =
+  (List.length (Ords.weakenable b.sites), List.length b.sites)

@@ -3,3 +3,16 @@
 val all : Benchmark.t list
 
 val find : string -> Benchmark.t option
+
+(** [all] minus the fuzz-only oversized workloads: the benchmarks whose
+    unit tests can be explored exhaustively. The lint pass and the CI
+    lint job iterate over these. *)
+val exhaustive : Benchmark.t list
+
+(** Uniform access to a benchmark's injectable site table. *)
+val sites : Benchmark.t -> Ords.site list
+
+(** [advisor_coverage b] is [(weakenable, total)] — how many of [b]'s
+    sites the weakening advisor can act on, out of how many declared
+    sites. [cdsspec_run list] surfaces this as advisor applicability. *)
+val advisor_coverage : Benchmark.t -> int * int
