@@ -68,6 +68,21 @@ let litmus_cmd filter =
 (* Shared post-exploration reporting: the exhaustive and fuzz paths both
    funnel through an Explorer-shaped result. *)
 let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
+  let c = r.stats.E.check in
+  if c.cache_hits + c.cache_misses > 0 then
+    Format.printf "  check cache: %d hits / %d misses (%d entries)@." c.cache_hits c.cache_misses
+      c.cache_entries;
+  (* A capped enumeration is only a partial proof: say so instead of
+     silently under-checking (use --strict-histories to make it fail). *)
+  if c.histories_truncated > 0 then
+    Format.printf
+      "  WARNING: %d check instance(s) hit the max_histories cap; unchecked histories remain@."
+      c.histories_truncated;
+  if c.prefixes_truncated > 0 then
+    Format.printf
+      "  WARNING: %d check instance(s) hit the max_prefixes cap; unchecked justifying \
+       subhistories remain@."
+      c.prefixes_truncated;
   List.iter (fun bug -> Format.printf "  BUG: %a@." Mc.Bug.pp bug) r.bugs;
   (match r.first_buggy_trace with
   | Some trace when verbose ->
@@ -82,11 +97,13 @@ let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
   ignore (b, t);
   r.bugs <> []
 
-let exhaustive_one ~checker ~max_execs ~jobs (b : B.t) ~ords (t : B.test) =
+let exhaustive_one ~checker ~use_cache ~max_execs ~jobs (b : B.t) ~ords (t : B.test) =
+  let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
   let r =
     Mc.Parallel.explore ~jobs
       ~config:{ E.default_config with scheduler = b.scheduler; max_executions = max_execs }
-      ~on_feasible:(Cdsspec.Checker.hook ~config:checker b.spec)
+      ~on_feasible:(Cdsspec.Checker.hook ~config:checker ~cache b.spec)
+      ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
       (t.program ords)
   in
   Format.printf "%s/%s: explored %d, feasible %d, %.2fs%s@." b.name t.test_name r.stats.explored
@@ -94,7 +111,9 @@ let exhaustive_one ~checker ~max_execs ~jobs (b : B.t) ~ords (t : B.test) =
     (if r.stats.truncated then " (truncated)" else "");
   r
 
-let fuzz_one ~checker ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B.test) =
+let fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B.test)
+    =
+  let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
   let r =
     Fuzz.Engine.run
       ~config:
@@ -105,7 +124,8 @@ let fuzz_one ~checker ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B
           max_executions = max_execs;
           time_budget;
         }
-      ~on_feasible:(Cdsspec.Checker.hook ~config:checker b.spec)
+      ~on_feasible:(Cdsspec.Checker.hook ~config:checker ~cache b.spec)
+      ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
       ~seed (t.program ords)
   in
   Format.printf "%s/%s: fuzzed %d (%s, seed %d), feasible %d, coverage %d, %.0f execs/s, %.2fs%s@."
@@ -126,11 +146,12 @@ let fuzz_one ~checker ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B
     r.found;
   Fuzz.Engine.explorer_result r
 
-let replay_one ~checker ~decisions (b : B.t) ~ords (t : B.test) =
+let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
+  let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
   let run_r, bugs =
     Fuzz.Engine.replay
       ~scheduler:{ b.scheduler with Mc.Scheduler.sleep_sets = false }
-      ~on_feasible:(Cdsspec.Checker.hook ~config:checker b.spec)
+      ~on_feasible:(Cdsspec.Checker.hook ~config:checker ~cache b.spec)
       ~decisions (t.program ords)
   in
   let outcome =
@@ -153,6 +174,7 @@ let replay_one ~checker ~decisions (b : B.t) ~ords (t : B.test) =
         buggy = (if bugs <> [] then 1 else 0);
         time = 0.;
         truncated = false;
+        check = Cdsspec.Checker.cache_counters cache;
       };
     bugs;
     first_buggy_trace =
@@ -167,7 +189,7 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs fuzzi
     match build_ords b weaken overrides with
     | Error e -> e
     | Ok ords -> (
-      let fuzz, seed, time_budget, bias, checker = fuzzing in
+      let fuzz, seed, time_budget, bias, checker, use_cache = fuzzing in
       let tests =
         match test_filter with
         | None -> b.tests
@@ -177,11 +199,11 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs fuzzi
         match replay with
         | Some s -> (
           match Fuzz.Engine.trace_of_string s with
-          | Some decisions -> Ok (replay_one ~checker ~decisions)
+          | Some decisions -> Ok (replay_one ~checker ~use_cache ~decisions)
           | None -> Error (`Msg (Printf.sprintf "bad trace %S: expected dot-separated indices" s)))
         | None ->
-          if fuzz then Ok (fuzz_one ~checker ~max_execs ~seed ~time_budget ~bias)
-          else Ok (exhaustive_one ~checker ~max_execs ~jobs)
+          if fuzz then Ok (fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias)
+          else Ok (exhaustive_one ~checker ~use_cache ~max_execs ~jobs)
       in
       match run with
       | Error e -> e
@@ -402,16 +424,35 @@ let fuzzing_term =
       value & opt int 0
       & info [ "history-seed" ] ~docv:"S" ~doc:"PRNG seed for $(b,--sample-histories).")
   in
+  let strict_histories =
+    Arg.(
+      value & flag
+      & info [ "strict-histories" ]
+          ~doc:
+            "Treat a truncated history/subhistory enumeration (max_histories or max_prefixes \
+             cap hit) as a reported violation instead of a warning: a capped check is only a \
+             partial proof.")
+  in
+  let no_check_cache =
+    Arg.(
+      value & flag
+      & info [ "no-check-cache" ]
+          ~doc:
+            "Disable the cross-execution check cache (verdicts memoized by canonical \
+             call-history fingerprint). Hit/miss/truncation counters are still reported.")
+  in
   Term.(
-    const (fun fuzz seed time_budget bias sample hseed ->
+    const (fun fuzz seed time_budget bias sample hseed strict no_cache ->
         let checker =
-          match sample with
-          | None -> Cdsspec.Checker.default_config
-          | Some n ->
-            { Cdsspec.Checker.default_config with sample_histories = Some (n, hseed) }
+          {
+            Cdsspec.Checker.default_config with
+            sample_histories = Option.map (fun n -> (n, hseed)) sample;
+            strict_histories = strict;
+          }
         in
-        (fuzz, seed, time_budget, bias, checker))
-    $ fuzz $ seed $ time_budget $ bias $ sample_histories $ history_seed)
+        (fuzz, seed, time_budget, bias, checker, not no_cache))
+    $ fuzz $ seed $ time_budget $ bias $ sample_histories $ history_seed $ strict_histories
+    $ no_check_cache)
 
 let check_term =
   let test =

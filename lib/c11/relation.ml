@@ -140,6 +140,67 @@ let topological_sorts ?(max = 20_000) ?sample ~nodes r =
     go [] 0;
     (List.rev !results, !truncated)
 
+(* Prefix-sharing DFS over the same tree [topological_sorts] enumerates
+   (the PR-4 traversal hook). Instead of materializing every linear
+   extension, visit the topological-sort tree once, threading a caller
+   state down the recursion: a shared prefix is presented to [enter]
+   once, not once per extension below it. Child order and the [max] leaf
+   budget mirror [topological_sorts] exactly — a walk that never stops
+   attempts precisely the extensions the enumerator would return, in the
+   same order, and reports truncation under the same condition (a visit
+   attempted after [max] complete extensions). *)
+let walk_linear_extensions ?(max = 20_000) ~nodes r ~init ~enter ~leaf =
+  let in_nodes = Array.make r.n false in
+  List.iter (fun x -> in_nodes.(x) <- true) nodes;
+  let indeg = Array.make r.n 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun a -> if in_nodes.(a) && r.succ.(a).(b) then indeg.(b) <- indeg.(b) + 1)
+        nodes)
+    nodes;
+  let total = List.length nodes in
+  let count = ref 0 in
+  let truncated = ref false in
+  let stopped = ref false in
+  let rec go st picked =
+    if picked = total then begin
+      if !count >= max then truncated := true
+      else begin
+        incr count;
+        match leaf st with
+        | `Stop -> stopped := true
+        | `Continue -> ()
+      end
+    end
+    else
+      List.iter
+        (fun x ->
+          if (not !truncated) && (not !stopped) && indeg.(x) = 0 then begin
+            if !count >= max then truncated := true
+            else begin
+              match enter st x with
+              | `Stop -> stopped := true
+              | `Enter st' ->
+                indeg.(x) <- -1;
+                let bumped = ref [] in
+                List.iter
+                  (fun y ->
+                    if in_nodes.(y) && r.succ.(x).(y) then begin
+                      indeg.(y) <- indeg.(y) - 1;
+                      bumped := y :: !bumped
+                    end)
+                  nodes;
+                go st' (picked + 1);
+                List.iter (fun y -> indeg.(y) <- indeg.(y) + 1) !bumped;
+                indeg.(x) <- 0
+            end
+          end)
+        nodes
+  in
+  go init 0;
+  !truncated
+
 let any_topological_sort ~nodes r =
   match topological_sorts ~max:1 ~nodes r with
   | sort :: _, _ -> sort

@@ -43,6 +43,30 @@ val down_set : t -> int -> int list
 val topological_sorts :
   ?max:int -> ?sample:int * int -> nodes:int list -> t -> int list list * bool
 
+(** [walk_linear_extensions ?max ~nodes r ~init ~enter ~leaf] is the
+    prefix-sharing counterpart of {!topological_sorts}: a DFS over the
+    same topological-sort tree that threads a caller state down the
+    recursion, so a prefix shared by many extensions is presented to
+    [enter] once instead of once per extension.
+
+    [enter st x] extends the prefix state [st] with node [x]; returning
+    [`Stop] aborts the entire walk (the checker's early exit on the
+    first violating branch). [leaf st] fires on every complete
+    extension; [`Stop] likewise aborts the walk.
+
+    Child order and the [max] leaf budget match {!topological_sorts}
+    exactly: a walk that never returns [`Stop] attempts precisely the
+    extensions the enumerator returns, in the same order, and the result
+    is [true] iff the enumerator would have reported truncation. *)
+val walk_linear_extensions :
+  ?max:int ->
+  nodes:int list ->
+  t ->
+  init:'a ->
+  enter:('a -> int -> [ `Enter of 'a | `Stop ]) ->
+  leaf:('a -> [ `Continue | `Stop ]) ->
+  bool
+
 (** One arbitrary linear extension over the given nodes (raises
     [Invalid_argument] on a cycle). *)
 val any_topological_sort : nodes:int list -> t -> int list

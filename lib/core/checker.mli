@@ -4,29 +4,81 @@
     the equivalent sequential data structure, and require every
     non-deterministic behaviour to be justified by some justifying
     subhistory (or by the CONCURRENT set, which the justifying predicates
-    may consult). *)
+    may consult).
+
+    History replay shares prefixes: instead of materializing every
+    linear extension of ⊑r and replaying each from scratch, the checker
+    walks the topological-sort tree once, threading the persistent
+    sequential state down the recursion ({!Spec} states must therefore
+    be persistent values — see HACKING.md). Verdicts and messages are
+    byte-identical to the legacy list-then-replay path, which is kept
+    behind [legacy_replay] for differential testing. *)
 
 type config = {
   max_histories : int;
       (** truncate exhaustive enumeration of sequential histories *)
   sample_histories : (int * int) option;
       (** [(count, seed)]: randomly sample instead of exhausting — the
-          checker's "check a user-customized number of histories" option *)
+          checker's "check a user-customized number of histories" option.
+          Sampling always uses the legacy list-then-replay path. *)
   max_prefixes : int;  (** cap on justifying subhistories per call *)
+  strict_histories : bool;
+      (** report a [`Truncated] violation when an enumeration cap was
+          hit (a capped check is only a partial proof); otherwise the
+          truncation is surfaced only through the {!cache} counters *)
+  legacy_replay : bool;
+      (** use the pre-PR-4 list-then-replay path (reference
+          implementation for the differential tests) *)
 }
 
 val default_config : config
 
 type violation = {
-  kind : [ `Admissibility | `Assertion | `Unjustified | `Cyclic_ordering ];
+  kind : [ `Admissibility | `Assertion | `Unjustified | `Cyclic_ordering | `Truncated ];
   message : string;
 }
 
 val pp_violation : Format.formatter -> violation -> unit
 
+(** {2 Cross-execution check cache}
+
+    Distinct executions routinely induce the same per-object check
+    instance (same calls, same ordering relation up to dense id
+    renumbering); the cache memoizes verdicts across them, keyed on
+    {!fingerprint}. It is domain-safe (a single mutex guards the table
+    and counters; the check itself runs outside the lock) and is meant
+    to live for one exploration run under one [config] — never share a
+    cache across different configs or specs. *)
+
+type cache
+
+(** [create_cache ()] makes an empty cache. [~memoize:false] disables
+    the verdict table but keeps every counter, so hit/miss/truncation
+    accounting still flows to {!cache_counters} — this is the
+    [--no-check-cache] path. *)
+val create_cache : ?memoize:bool -> unit -> cache
+
+(** Snapshot the counters in the shape {!Mc.Explorer.stats} carries
+    ([cache_entries] is the current table size; the truncation counters
+    count per-object check instances whose enumeration hit a cap,
+    including cached ones). *)
+val cache_counters : cache -> Mc.Explorer.check_counters
+
+(** Canonical fingerprint of one per-object check instance: the calls
+    in dense-id order (name, args, C_RET, tid) plus the reachability
+    closure of the ordering relation. Exposed for the tests. *)
+val fingerprint : C11.Relation.t -> Call.t list -> string
+
+(** Admissibility findings for one object's calls under ⊑r (both
+    orientations of every rule are checked, mirror findings
+    deduplicated). Exposed for the regression tests. *)
+val check_admissibility :
+  'st Spec.t -> C11.Relation.t -> Call.t list -> violation list
+
 (** Check one execution; the empty list means the specification holds. *)
 val check_execution :
   ?config:config ->
+  ?cache:cache ->
   Spec.packed ->
   C11.Execution.t ->
   Mc.Scheduler.annot list ->
@@ -36,4 +88,9 @@ val check_execution :
     [on_feasible] callback, mapping violations to
     {!Mc.Bug.Spec_violation}s. *)
 val hook :
-  ?config:config -> Spec.packed -> C11.Execution.t -> Mc.Scheduler.annot list -> Mc.Bug.t list
+  ?config:config ->
+  ?cache:cache ->
+  Spec.packed ->
+  C11.Execution.t ->
+  Mc.Scheduler.annot list ->
+  Mc.Bug.t list

@@ -47,9 +47,16 @@ let calls_of_annots _exec annots =
       match a.op_action with
       | Some id -> oc.ops <- id :: oc.ops
       | None -> ())
-    | Op_clear, Some oc -> oc.ops <- []
+    (* @OPClear discards the call's ordering-point state wholesale:
+       uncommitted potential OPs are part of that state, so they are
+       dropped too — otherwise a later @OPCheck could resurrect an
+       operation from before the clear. *)
+    | Op_clear, Some oc ->
+      oc.ops <- [];
+      oc.potential <- []
     | Op_clear_define, Some oc -> (
       oc.ops <- [];
+      oc.potential <- [];
       match a.op_action with
       | Some id -> oc.ops <- [ id ]
       | None -> ())
@@ -57,8 +64,13 @@ let calls_of_annots _exec annots =
       match a.op_action with
       | Some id -> oc.potential <- (label, id) :: oc.potential
       | None -> ())
+    (* @OPCheck commits the remembered operations; committing twice (two
+       checks of the same label, or a label remembered twice for the
+       same action) must not duplicate an ordering point. *)
     | Op_check label, Some oc ->
-      List.iter (fun (l, id) -> if l = label then oc.ops <- id :: oc.ops) oc.potential
+      List.iter
+        (fun (l, id) -> if l = label && not (List.mem id oc.ops) then oc.ops <- id :: oc.ops)
+        oc.potential
     | (Op_define | Op_clear | Op_clear_define | Potential_op _ | Op_check _), None ->
       (* an ordering-point annotation outside any API call is ignored *)
       ()
@@ -137,5 +149,5 @@ let histories ?max ?sample r calls =
 let justifying_subhistories ?max r calls (m : Call.t) =
   let find = by_id calls in
   let nodes = C11.Relation.down_set r m.id in
-  let sorts, _ = C11.Relation.topological_sorts ?max ~nodes r in
-  List.map (fun sort -> List.map find sort @ [ m ]) sorts
+  let sorts, truncated = C11.Relation.topological_sorts ?max ~nodes r in
+  (List.map (fun sort -> List.map find sort @ [ m ]) sorts, truncated)

@@ -20,6 +20,10 @@ val concurrent : C11.Relation.t -> Call.t list -> Call.t -> Call.t list
 (** Unordered pairs [(a, b)] with [a.id < b.id], for admissibility. *)
 val unordered_pairs : C11.Relation.t -> Call.t list -> (Call.t * Call.t) list
 
+(** Memoized id -> call lookup over one call list (raises
+    [Invalid_argument] on an unknown id). *)
+val by_id : Call.t list -> int -> Call.t
+
 (** [histories ?max ?sample r calls] enumerates valid sequential
     histories (linear extensions of ⊑r over all calls). Returns the
     histories and whether enumeration was truncated. *)
@@ -28,6 +32,8 @@ val histories :
 
 (** [justifying_subhistories ?max r calls m] enumerates the justifying
     subhistories of [m]: linearizations of ⊑r's strict down-set of [m],
-    each with [m] appended. *)
+    each with [m] appended. Returns the subhistories and whether
+    enumeration hit the [max] cap (so callers can surface the
+    truncation instead of silently under-checking). *)
 val justifying_subhistories :
-  ?max:int -> C11.Relation.t -> Call.t list -> Call.t -> Call.t list list
+  ?max:int -> C11.Relation.t -> Call.t list -> Call.t -> Call.t list list * bool

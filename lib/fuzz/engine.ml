@@ -33,6 +33,7 @@ type stats = {
   time : float;
   time_to_first_bug : float option;
   truncated : bool;
+  check : Mc.Explorer.check_counters;
 }
 
 type found = {
@@ -77,7 +78,8 @@ let replay ?(scheduler = default_config.scheduler) ?on_feasible ~decisions main 
   let r = S.run ~pick ~config:scheduler ~trace:(Vec.create ()) main in
   (r, bugs_of_run ?on_feasible r)
 
-let run ?(config = default_config) ?on_feasible ~seed main =
+let run ?(config = default_config) ?on_feasible
+    ?(check = fun () -> Mc.Explorer.no_check_counters) ~seed main =
   let scheduler = { config.scheduler with S.sleep_sets = false } in
   let t0 = Mc.Monotonic.now () in
   let executions = ref 0 in
@@ -174,6 +176,7 @@ let run ?(config = default_config) ?on_feasible ~seed main =
         time = Mc.Monotonic.now () -. t0;
         time_to_first_bug = !time_to_first_bug;
         truncated = !truncated;
+        check = check ();
       };
     found = List.rev !found;
     first_buggy_trace = !first_buggy_trace;
@@ -192,6 +195,7 @@ let explorer_result (r : result) : Mc.Explorer.result =
         buggy = r.stats.buggy;
         truncated = r.stats.truncated;
         time = r.stats.time;
+        check = r.stats.check;
       };
     bugs = List.map (fun f -> f.bug) r.found;
     first_buggy_trace = r.first_buggy_trace;

@@ -45,6 +45,10 @@ type stats = {
   truncated : bool;
       (** stopped by [time_budget] or [stop_on_first_bug] before
           [max_executions] ran *)
+  check : Mc.Explorer.check_counters;
+      (** end-of-campaign snapshot of the checking hook's counters
+          (cache hits/misses and truncation warnings); all zero when no
+          [check] callback was supplied to {!run} *)
 }
 
 (** One deduplicated bug with its reproduction recipe. *)
@@ -67,10 +71,13 @@ type result = {
 (** [run ~seed main] fuzzes [main]. [on_feasible] has the same signature
     and contract as {!Mc.Explorer.explore}'s: it runs on every complete
     execution with no built-in bug, so the spec checker's hook plugs in
-    unchanged. *)
+    unchanged. [check] is snapshotted once at the end of the campaign
+    into [stats.check] (note that minimization replays also go through
+    [on_feasible], so their cache hits count too). *)
 val run :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Mc.Scheduler.annot list -> Mc.Bug.t list) ->
+  ?check:(unit -> Mc.Explorer.check_counters) ->
   seed:int ->
   (unit -> unit) ->
   result

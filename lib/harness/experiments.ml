@@ -5,10 +5,16 @@ type limits = {
   max_executions : int;
   checker : Cdsspec.Checker.config;
   jobs : int;
+  check_cache : bool;  (* memoize per-object check verdicts across executions *)
 }
 
 let default_limits =
-  { max_executions = 150_000; checker = Cdsspec.Checker.default_config; jobs = 1 }
+  {
+    max_executions = 150_000;
+    checker = Cdsspec.Checker.default_config;
+    jobs = 1;
+    check_cache = true;
+  }
 
 let jobs_of_env () =
   match Sys.getenv_opt "CDSSPEC_JOBS" with
@@ -19,11 +25,17 @@ let jobs_of_env () =
     | _ -> invalid_arg (Printf.sprintf "CDSSPEC_JOBS=%S: expected a non-negative integer" s))
   | None -> 1
 
+(* One check cache per exploration run: the memoization is
+   cross-execution (that is the point) but never crosses a test, a
+   config or an ords choice. With [check_cache = false] the cache still
+   counts hits/misses/truncations, it just stores no verdicts. *)
 let explore ~limits (b : B.t) ~ords (t : B.test) =
+  let cache = Cdsspec.Checker.create_cache ~memoize:limits.check_cache () in
   Mc.Parallel.explore ~jobs:limits.jobs
     ~config:
       { E.default_config with scheduler = b.scheduler; max_executions = Some limits.max_executions }
-    ~on_feasible:(Cdsspec.Checker.hook ~config:limits.checker b.spec)
+    ~on_feasible:(Cdsspec.Checker.hook ~config:limits.checker ~cache b.spec)
+    ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
     (t.program ords)
 
 (* ------------------------------------------------------------------ *)
@@ -184,6 +196,7 @@ let default_fuzz_limits =
   }
 
 let fuzz ~limits ~seed (b : B.t) ~ords (t : B.test) =
+  let cache = Cdsspec.Checker.create_cache () in
   Fuzz.Engine.run
     ~config:
       {
@@ -193,7 +206,8 @@ let fuzz ~limits ~seed (b : B.t) ~ords (t : B.test) =
         max_executions = limits.fuzz_executions;
         time_budget = limits.fuzz_time_budget;
       }
-    ~on_feasible:(Cdsspec.Checker.hook ~config:limits.fuzz_checker b.spec)
+    ~on_feasible:(Cdsspec.Checker.hook ~config:limits.fuzz_checker ~cache b.spec)
+    ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
     ~seed (t.program ords)
 
 type fuzz_row = {

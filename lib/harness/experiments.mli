@@ -10,6 +10,10 @@ type limits = {
   max_executions : int;
   checker : Cdsspec.Checker.config;
   jobs : int;  (** exploration domains per unit test; 1 = serial explorer *)
+  check_cache : bool;
+      (** memoize per-object check verdicts across executions (one fresh
+          cache per exploration run); [false] keeps the counters but
+          stores nothing — the benchmark baseline *)
 }
 
 val default_limits : limits

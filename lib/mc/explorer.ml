@@ -8,6 +8,23 @@ type config = {
 
 let default_config = { scheduler = Scheduler.default_config; max_executions = None; progress = None }
 
+type check_counters = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  histories_truncated : int;
+  prefixes_truncated : int;
+}
+
+let no_check_counters =
+  {
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_entries = 0;
+    histories_truncated = 0;
+    prefixes_truncated = 0;
+  }
+
 type stats = {
   explored : int;
   feasible : int;
@@ -17,6 +34,7 @@ type stats = {
   buggy : int;
   truncated : bool;
   time : float;
+  check : check_counters;
 }
 
 type result = {
@@ -49,7 +67,8 @@ let backtrack ?(frozen = 0) (trace : Scheduler.decision Vec.t) =
   in
   go ()
 
-let explore_subtree ?(config = default_config) ?on_feasible ?stop ~trace ~frozen main =
+let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> no_check_counters)
+    ?stop ~trace ~frozen main =
   let t0 = Monotonic.now () in
   (* Time spent in the caller's [progress] callback is the caller's, not
      the search's: subtract it, or a slow reporter inflates [stats.time]. *)
@@ -123,11 +142,12 @@ let explore_subtree ?(config = default_config) ?on_feasible ?stop ~trace ~frozen
         buggy = !buggy;
         truncated = !truncated;
         time = Monotonic.now () -. t0 -. !progress_overhead;
+        check = check ();
       };
     bugs = List.rev !bugs;
     first_buggy_trace = !first_buggy_trace;
     first_buggy_exec = !first_buggy_exec;
   }
 
-let explore ?config ?on_feasible main =
-  explore_subtree ?config ?on_feasible ~trace:(Vec.create ()) ~frozen:0 main
+let explore ?config ?on_feasible ?check main =
+  explore_subtree ?config ?on_feasible ?check ~trace:(Vec.create ()) ~frozen:0 main

@@ -10,6 +10,27 @@ type config = {
 
 val default_config : config
 
+(** Counters reported by the per-execution checking hook (the cdsspec
+    checker's cross-execution cache and truncation warnings). The
+    explorer itself never bumps these: the [check] snapshot callback
+    passed to {!explore} reads them from whoever owns the counters (see
+    [Cdsspec.Checker.cache_counters]). [histories_truncated] /
+    [prefixes_truncated] count object checks whose sequential-history /
+    justifying-subhistory enumeration hit its cap — i.e. checks that
+    silently passed on an unchecked remainder unless strict mode turned
+    them into failures. *)
+type check_counters = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  histories_truncated : int;
+  prefixes_truncated : int;
+}
+
+(** All-zero counters: what [stats.check] holds when no snapshot
+    callback was supplied. *)
+val no_check_counters : check_counters
+
 type stats = {
   explored : int;  (** total runs, feasible + pruned *)
   feasible : int;  (** complete, consistent executions *)
@@ -21,6 +42,9 @@ type stats = {
   time : float;
       (** wall-clock seconds, measured with the monotonic clock and
           excluding time spent inside the [progress] callback *)
+  check : check_counters;
+      (** snapshot of the checking hook's counters at the end of the
+          search ({!no_check_counters} when none was supplied) *)
 }
 
 type result = {
@@ -43,10 +67,13 @@ val backtrack : ?frozen:int -> Scheduler.decision C11.Vec.t -> bool
 (** [explore ~config ?on_feasible main] enumerates the behaviours of
     [main]. [on_feasible] runs on every complete bug-free execution (the
     specification checker hooks in here) and returns any violations it
-    finds, which are recorded like built-in bugs. *)
+    finds, which are recorded like built-in bugs. [check], when given, is
+    called once at the end of the search and its snapshot lands in
+    [stats.check] — the checking hook's counter export. *)
 val explore :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  ?check:(unit -> check_counters) ->
   (unit -> unit) ->
   result
 
@@ -60,6 +87,7 @@ val explore :
 val explore_subtree :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  ?check:(unit -> check_counters) ->
   ?stop:(unit -> bool) ->
   trace:Scheduler.decision C11.Vec.t ->
   frozen:int ->

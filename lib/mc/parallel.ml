@@ -48,7 +48,11 @@ let auto_split ~config ~jobs main =
 (* ------------------------------------------------------------------ *)
 (* Domain pool                                                         *)
 
-let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.result =
+(* [check] is a single end-of-run snapshot of the (shared) checking-hook
+   counters. Per-subtree snapshots of a cache shared across domains are
+   cumulative at whatever moment each subtree finished, so summing them
+   would double-count: only the final snapshot is correct. *)
+let merge ~t0 ~stopped ~check (results : Explorer.result option array) : Explorer.result =
   let zero =
     {
       Explorer.explored = 0;
@@ -59,6 +63,7 @@ let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.resul
       buggy = 0;
       truncated = stopped;
       time = 0.;
+      check;
     }
   in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -82,6 +87,7 @@ let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.resul
             buggy = s.buggy + r.stats.buggy;
             truncated = s.truncated || r.stats.truncated;
             time = s.time;
+            check = s.check;
           };
         List.iter
           (fun b ->
@@ -106,8 +112,9 @@ let merge ~t0 ~stopped (results : Explorer.result option array) : Explorer.resul
     first_buggy_exec = !first_exec;
   }
 
-let explore ?(config = Explorer.default_config) ?on_feasible ?(jobs = 1) ?split_depth main =
-  if jobs <= 1 then Explorer.explore ~config ?on_feasible main
+let explore ?(config = Explorer.default_config) ?on_feasible ?check ?(jobs = 1) ?split_depth main
+    =
+  if jobs <= 1 then Explorer.explore ~config ?on_feasible ?check main
   else begin
     let t0 = Monotonic.now () in
     let work =
@@ -161,5 +168,8 @@ let explore ?(config = Explorer.default_config) ?on_feasible ?(jobs = 1) ?split_
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains;
-    merge ~t0 ~stopped:(Atomic.get halted) results
+    let final_check =
+      match check with Some f -> f () | None -> Explorer.no_check_counters
+    in
+    merge ~t0 ~stopped:(Atomic.get halted) ~check:final_check results
   end

@@ -25,10 +25,16 @@ val prefixes :
     [jobs <= 1] (the default) is exactly the serial explorer.
     [split_depth] defaults to a heuristic that deepens until there are
     at least [4 * jobs] subtrees (or the prefix count plateaus), so the
-    queue stays long enough to balance uneven subtree sizes. *)
+    queue stays long enough to balance uneven subtree sizes.
+
+    [check] is snapshotted exactly once, after every domain has joined,
+    and lands in the merged [stats.check]: the checking hook's counters
+    are shared across domains (the cdsspec check cache is domain-safe),
+    so summing per-subtree snapshots would double-count. *)
 val explore :
   ?config:Explorer.config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
+  ?check:(unit -> Explorer.check_counters) ->
   ?jobs:int ->
   ?split_depth:int ->
   (unit -> unit) ->

@@ -230,7 +230,8 @@ let test_justifying_subhistories () =
   in
   let r = Cdsspec.History.ordering_relation exec calls in
   let c = List.nth calls 2 in
-  let subs = Cdsspec.History.justifying_subhistories r calls c in
+  let subs, truncated = Cdsspec.History.justifying_subhistories r calls c in
+  Alcotest.(check bool) "not truncated" false truncated;
   Alcotest.(check int) "chain has one linearization" 1 (List.length subs);
   Alcotest.(check (list string)) "prefix then m" [ "a"; "b"; "c" ]
     (List.map (fun (x : Call.t) -> x.name) (List.hd subs))
