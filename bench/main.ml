@@ -55,6 +55,28 @@ let extra_benches =
 
 let section title = Format.printf "@.== %s ==@.@." title
 
+(* Shared provenance header for every BENCH_*.json emitter, so the
+   perf-trajectory series is joinable across PRs: without rev/date/host
+   the files cannot be attributed to a commit or a machine. *)
+let metadata_json () =
+  let rev =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  let date =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let host = try Unix.gethostname () with _ -> "unknown" in
+  Printf.sprintf "\"rev\": %S,\n  \"date\": %S,\n  \"host\": %S,\n  \"cores\": %d" rev date host
+    (Domain.recommended_domain_count ())
+
 (* Set once from --jobs/CDSSPEC_JOBS before any job runs. *)
 let jobs = ref 1
 
@@ -209,8 +231,9 @@ let write_bench_json rows =
   in
   let oc = open_out path in
   let total = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
-  Printf.fprintf oc "{\n  \"pr\": 1,\n  \"jobs\": %d,\n  \"total_wall_s\": %.3f,\n  \"benchmarks\": [\n"
-    !jobs total;
+  Printf.fprintf oc
+    "{\n  %s,\n  \"pr\": 1,\n  \"jobs\": %d,\n  \"total_wall_s\": %.3f,\n  \"benchmarks\": [\n"
+    (metadata_json ()) !jobs total;
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -338,8 +361,8 @@ let write_fuzz_json buggy throughput =
   let oc = open_out path in
   let opt_f = function None -> "null" | Some v -> Printf.sprintf "%.4f" v in
   let opt_i = function None -> "null" | Some v -> string_of_int v in
-  Printf.fprintf oc "{\n  \"pr\": 2,\n  \"jobs\": %d,\n  \"seed\": %d,\n  \"bias\": %S,\n" !jobs
-    fuzz_seed
+  Printf.fprintf oc "{\n  %s,\n  \"pr\": 2,\n  \"jobs\": %d,\n  \"seed\": %d,\n  \"bias\": %S,\n"
+    (metadata_json ()) !jobs fuzz_seed
     (Fuzz.Bias.to_string Fuzz.Engine.default_config.bias);
   Printf.fprintf oc "  \"time_to_first_bug\": [\n";
   List.iteri
@@ -485,9 +508,9 @@ let write_lint_json rows =
   let oc = open_out path in
   let total = List.fold_left (fun acc r -> acc +. r.lr_advisor_wall_s) 0. rows in
   Printf.fprintf oc
-    "{\n  \"pr\": 3,\n  \"jobs\": %d,\n  \"max_executions\": %d,\n  \"total_advisor_wall_s\": \
-     %.3f,\n  \"structures\": [\n"
-    !jobs lint_max_execs total;
+    "{\n  %s,\n  \"pr\": 3,\n  \"jobs\": %d,\n  \"max_executions\": %d,\n  \
+     \"total_advisor_wall_s\": %.3f,\n  \"structures\": [\n"
+    (metadata_json ()) !jobs lint_max_execs total;
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -699,9 +722,9 @@ let write_check_cache_json rows =
   let oc = open_out path in
   let heavy = List.filter (fun r -> r.cc_heavy) rows in
   Printf.fprintf oc
-    "{\n  \"pr\": 4,\n  \"jobs\": %d,\n  \"smoke\": %b,\n  \"median_speedup\": %.2f,\n  \
+    "{\n  %s,\n  \"pr\": 4,\n  \"jobs\": %d,\n  \"smoke\": %b,\n  \"median_speedup\": %.2f,\n  \
      \"median_speedup_history_heavy\": %.2f,\n  \"entries\": [\n"
-    !jobs !smoke
+    (metadata_json ()) !jobs !smoke
     (median (List.map (fun r -> r.cc_speedup) rows))
     (median (List.map (fun r -> r.cc_speedup) heavy));
   List.iteri
@@ -754,6 +777,200 @@ let run_check_cache () =
       l);
   write_check_cache_json rows
 
+(* ------------------------------------------------------------------ *)
+(* Explore: the PR-5 exploration-throughput benchmark. Two sections in
+   BENCH_PR5.json:
+
+   - pruning: every Registry.exhaustive structure explored twice (first
+     unit test, serial) — equivalence pruning off then on — recording
+     interleavings vs distinct graphs, wall time and execs/sec. For rows
+     where both runs exhaust the tree (no cap hit), the distinct-graph
+     sets and bug lists must be identical; any divergence is a hard
+     failure, so the `--smoke` run doubles as CI's pruning-soundness
+     gate.
+   - scaling: skewed workloads explored at several job counts under the
+     static prefix split vs the work-stealing pool, recording wall
+     times. Skewed trees are where a static split leaves domains idle
+     behind one fat subtree. Pruning is off here: the big unpruned
+     trees are what parallel exploration exists for (pruned trees are
+     small enough to run serially, and per-item visited tables would
+     charge the pruned run for lost sharing rather than measuring the
+     split strategy).                                                  *)
+
+let explore_json_file = "BENCH_PR5.json"
+
+type pe_row = {
+  pe_workload : string;
+  pe_off_explored : int;
+  pe_off_wall_s : float;
+  pe_on_explored : int;
+  pe_on_equiv_pruned : int;
+  pe_on_wall_s : float;
+  pe_graphs : int;
+  pe_reduction : float;  (* unpruned interleavings / pruned runs *)
+  pe_speedup : float;  (* unpruned wall / pruned wall *)
+  pe_gated : bool;  (* both runs exhausted: equivalence gate applied *)
+}
+
+type sc_row = {
+  sc_workload : string;
+  sc_jobs : int;
+  sc_serial_wall_s : float;
+  sc_static_wall_s : float;
+  sc_steal_wall_s : float;
+}
+
+let pe_explore ~prune ~strategy ~jobs:j ~max_execs (b : B.t) (t : B.test) =
+  let ords = Structures.Ords.default b.sites in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Mc.Parallel.explore ~jobs:j ~strategy
+      ~config:
+        { E.default_config with scheduler = b.scheduler; max_executions = max_execs; prune }
+      ~on_feasible:(Cdsspec.Checker.hook b.spec)
+      (t.program ords)
+  in
+  (Unix.gettimeofday () -. t0, r)
+
+let pruning_one ~max_execs (b : B.t) =
+  let t = List.hd b.tests in
+  let wall_off, off = pe_explore ~prune:false ~strategy:`Steal ~jobs:1 ~max_execs b t in
+  let wall_on, on = pe_explore ~prune:true ~strategy:`Steal ~jobs:1 ~max_execs b t in
+  let gated = (not off.stats.truncated) && not on.stats.truncated in
+  if gated then begin
+    if off.graphs <> on.graphs then
+      failwith ("explore-bench: distinct-graph sets diverge with pruning on " ^ b.name);
+    if List.map Mc.Bug.key off.bugs <> List.map Mc.Bug.key on.bugs then
+      failwith ("explore-bench: bug lists diverge with pruning on " ^ b.name)
+  end
+  else
+    (* no silent caps: a truncated pair contributes numbers but not the
+       equivalence gate, and says so *)
+    Format.printf "  note: %s truncated at the execution cap; equivalence gate skipped@." b.name;
+  {
+    pe_workload = b.name ^ "/" ^ t.test_name;
+    pe_off_explored = off.stats.explored;
+    pe_off_wall_s = wall_off;
+    pe_on_explored = on.stats.explored;
+    pe_on_equiv_pruned = on.stats.pruned_equiv;
+    pe_on_wall_s = wall_on;
+    pe_graphs = on.stats.distinct_graphs;
+    pe_reduction =
+      (if on.stats.explored > 0 then
+         float_of_int off.stats.explored /. float_of_int on.stats.explored
+       else 1.);
+    pe_speedup = (if wall_on > 0. then wall_off /. wall_on else 1.);
+    pe_gated = gated;
+  }
+
+let scaling_one ~max_execs ~jobs_list (b : B.t) test_name =
+  let t = find_test b test_name in
+  let serial_wall, _ = pe_explore ~prune:false ~strategy:`Steal ~jobs:1 ~max_execs b t in
+  List.map
+    (fun j ->
+      let static_wall, _ = pe_explore ~prune:false ~strategy:`Static ~jobs:j ~max_execs b t in
+      let steal_wall, _ = pe_explore ~prune:false ~strategy:`Steal ~jobs:j ~max_execs b t in
+      {
+        sc_workload = b.name ^ "/" ^ test_name;
+        sc_jobs = j;
+        sc_serial_wall_s = serial_wall;
+        sc_static_wall_s = static_wall;
+        sc_steal_wall_s = steal_wall;
+      })
+    jobs_list
+
+let write_explore_json pruning scaling =
+  let path =
+    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> explore_json_file
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  %s,\n  \"pr\": 5,\n  \"smoke\": %b,\n  \"median_interleaving_reduction\": %.2f,\n  \
+     \"median_speedup\": %.2f,\n  \"pruning\": [\n"
+    (metadata_json ()) !smoke
+    (median (List.map (fun r -> r.pe_reduction) pruning))
+    (median (List.map (fun r -> r.pe_speedup) pruning));
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"unpruned_explored\": %d, \"unpruned_wall_s\": %.4f, \
+         \"pruned_explored\": %d, \"equiv_pruned\": %d, \"pruned_wall_s\": %.4f, \
+         \"distinct_graphs\": %d, \"interleaving_reduction\": %.2f, \"speedup\": %.2f, \
+         \"exhausted\": %b}%s\n"
+        r.pe_workload r.pe_off_explored r.pe_off_wall_s r.pe_on_explored r.pe_on_equiv_pruned
+        r.pe_on_wall_s r.pe_graphs r.pe_reduction r.pe_speedup r.pe_gated
+        (if i = List.length pruning - 1 then "" else ","))
+    pruning;
+  Printf.fprintf oc "  ],\n  \"scaling\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"jobs\": %d, \"serial_wall_s\": %.4f, \"static_wall_s\": %.4f, \
+         \"steal_wall_s\": %.4f, \"static_speedup\": %.2f, \"steal_speedup\": %.2f}%s\n"
+        r.sc_workload r.sc_jobs r.sc_serial_wall_s r.sc_static_wall_s r.sc_steal_wall_s
+        (if r.sc_static_wall_s > 0. then r.sc_serial_wall_s /. r.sc_static_wall_s else 1.)
+        (if r.sc_steal_wall_s > 0. then r.sc_serial_wall_s /. r.sc_steal_wall_s else 1.)
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s%s@." path (if !smoke then " (smoke)" else "")
+
+let run_explore () =
+  section
+    (Printf.sprintf "Explore: equivalence pruning + work stealing%s"
+       (if !smoke then " (smoke subset)" else ""));
+  let max_execs = if !smoke then Some 20_000 else Some 400_000 in
+  Format.printf "%-34s %10s %10s %8s %9s %9s %8s@." "Workload" "unpruned" "pruned" "graphs"
+    "reduce" "speedup" "gate";
+  let pruning =
+    List.map
+      (fun b ->
+        let r = pruning_one ~max_execs b in
+        Format.printf "%-34s %10d %10d %8d %8.2fx %8.2fx %8s@." r.pe_workload r.pe_off_explored
+          r.pe_on_explored r.pe_graphs r.pe_reduction r.pe_speedup
+          (if r.pe_gated then "checked" else "skipped");
+        r)
+      Structures.Registry.exhaustive
+  in
+  if not (List.exists (fun r -> r.pe_gated) pruning) then
+    failwith "explore-bench: every pruning pair truncated; the equivalence gate never ran";
+  (* the spin-heavy trees are the skewed ones: one contention branch
+     carries most of the interleavings, so a static prefix split leaves
+     domains idle behind it while the stealing pool rebalances *)
+  let scaling_cases =
+    if !smoke then [ (Structures.Mcs_lock.benchmark, "two-threads", [ 2 ]) ]
+    else
+      [
+        (Structures.Mcs_lock.benchmark, "two-threads", [ 2; 4 ]);
+        (Structures.Chase_lev_deque.benchmark, "small", [ 2; 4 ]);
+        (Structures.Seqlock.benchmark, "1write-1read", [ 2; 4 ]);
+      ]
+  in
+  (* no silent misreadings: on a single-core host the parallel rows
+     timeshare one CPU, so wall times measure strategy overhead, not
+     parallel speedup — say so rather than let the numbers imply a
+     regression *)
+  if Domain.recommended_domain_count () < 2 then
+    Format.printf
+      "@.note: single-core host — scaling rows measure split-strategy overhead@.      \
+       (domains timeshare one CPU; speedups > 1x are unreachable here)@.";
+  Format.printf "@.%-34s %5s %10s %10s %10s@." "Scaling workload" "jobs" "serial" "static"
+    "steal";
+  let scaling =
+    List.concat_map
+      (fun (b, test_name, jobs_list) ->
+        let rows = scaling_one ~max_execs ~jobs_list b test_name in
+        List.iter
+          (fun r ->
+            Format.printf "%-34s %5d %9.3fs %9.3fs %9.3fs@." r.sc_workload r.sc_jobs
+              r.sc_serial_wall_s r.sc_static_wall_s r.sc_steal_wall_s)
+          rows;
+        rows)
+      scaling_cases
+  in
+  write_explore_json pruning scaling
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* split --jobs N / --jobs=N / -j N off the job-name list *)
@@ -800,7 +1017,9 @@ let () =
       | "fuzz" -> run_fuzz ()
       | "lint" -> run_lint ()
       | "check-cache" -> run_check_cache ()
+      | "explore" -> run_explore ()
       | other ->
         Format.printf
-          "unknown job %S (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache)@." other)
+          "unknown job %S (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore)@."
+          other)
     names

@@ -97,18 +97,25 @@ let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
   ignore (b, t);
   r.bugs <> []
 
-let exhaustive_one ~checker ~use_cache ~max_execs ~jobs (b : B.t) ~ords (t : B.test) =
+let exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune (b : B.t) ~ords (t : B.test) =
   let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
   let r =
     Mc.Parallel.explore ~jobs
-      ~config:{ E.default_config with scheduler = b.scheduler; max_executions = max_execs }
+      ~config:
+        { E.default_config with scheduler = b.scheduler; max_executions = max_execs; prune }
       ~on_feasible:(Cdsspec.Checker.hook ~config:checker ~cache b.spec)
       ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
       (t.program ords)
   in
-  Format.printf "%s/%s: explored %d, feasible %d, %.2fs%s@." b.name t.test_name r.stats.explored
-    r.stats.feasible r.stats.time
+  Format.printf "%s/%s: explored %d, feasible %d, %d distinct graph%s, %.2fs%s@." b.name
+    t.test_name r.stats.explored r.stats.feasible r.stats.distinct_graphs
+    (if r.stats.distinct_graphs = 1 then "" else "s")
+    r.stats.time
     (if r.stats.truncated then " (truncated)" else "");
+  let s = r.stats in
+  if s.pruned_equiv + s.pruned_sleep_set + s.pruned_loop_bound + s.pruned_max_actions > 0 then
+    Format.printf "  pruned: %d equivalence, %d sleep-set, %d loop-bound, %d max-actions@."
+      s.pruned_equiv s.pruned_sleep_set s.pruned_loop_bound s.pruned_max_actions;
   r
 
 let fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B.test)
@@ -160,17 +167,21 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
     | Pruned_loop_bound _ -> "pruned (loop bound)"
     | Pruned_max_actions -> "pruned (max actions)"
     | Pruned_sleep_set -> "pruned (sleep set)"
+    | Pruned_equiv -> "pruned (equivalence)"
   in
   Format.printf "%s/%s: replayed %d decisions, %s@." b.name t.test_name (List.length decisions)
     outcome;
+  let complete = run_r.outcome = Mc.Scheduler.Complete in
   {
     E.stats =
       {
         E.explored = 1;
-        feasible = (if run_r.outcome = Mc.Scheduler.Complete then 1 else 0);
+        feasible = (if complete then 1 else 0);
         pruned_sleep_set = 0;
         pruned_loop_bound = 0;
         pruned_max_actions = 0;
+        pruned_equiv = 0;
+        distinct_graphs = (if complete then 1 else 0);
         buggy = (if bugs <> [] then 1 else 0);
         time = 0.;
         truncated = false;
@@ -180,9 +191,11 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
     first_buggy_trace =
       (if bugs <> [] then Some (Fmt.str "%a" C11.Execution.pp run_r.exec) else None);
     first_buggy_exec = (if bugs <> [] then Some run_r.exec else None);
+    graphs = (if complete then [ C11.Execution.fingerprint run_r.exec ] else []);
   }
 
-let check_cmd name test_filter weaken overrides max_execs verbose dot jobs fuzzing replay =
+let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_prune fuzzing
+    replay =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
@@ -203,7 +216,7 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs fuzzi
           | None -> Error (`Msg (Printf.sprintf "bad trace %S: expected dot-separated indices" s)))
         | None ->
           if fuzz then Ok (fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias)
-          else Ok (exhaustive_one ~checker ~use_cache ~max_execs ~jobs)
+          else Ok (exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune:(not no_prune))
       in
       match run with
       | Error e -> e
@@ -490,11 +503,23 @@ let check_term =
             "Replay one execution from a dot-separated decision trace (as printed by \
              $(b,--fuzz) reproducers) and report its bugs.")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable execution-graph equivalence pruning: explore every interleaving instead of \
+             every distinct graph. Bug lists and verdicts are identical either way (that \
+             equivalence is tested); this is the escape hatch for differential debugging and for \
+             exact interleaving counts.")
+  in
   Term.(
-    const (fun name test weaken overrides max_execs verbose dot jobs fuzzing replay ->
-        exit_of (check_cmd name test weaken overrides max_execs verbose dot jobs fuzzing replay))
-    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ fuzzing_term
-    $ replay)
+    const (fun name test weaken overrides max_execs verbose dot jobs no_prune fuzzing replay ->
+        exit_of
+          (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune fuzzing
+             replay))
+    $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ no_prune
+    $ fuzzing_term $ replay)
 
 let lint_term =
   let bench = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in

@@ -391,6 +391,10 @@ let collect ?(config = default_config) ?ords (b : B.t) =
             Mc.Explorer.default_config with
             scheduler = b.scheduler;
             max_executions = config.max_executions;
+            (* Fact counts are per-execution occurrence counts: pruning
+               would make them depend on the subtree-cut pattern instead
+               of the interleaving set the summary documents. *)
+            prune = false;
           }
         in
         let r =

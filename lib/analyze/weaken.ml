@@ -103,6 +103,9 @@ let explore_tests ~config (b : B.t) ords =
              Mc.Explorer.default_config with
              scheduler = b.scheduler;
              max_executions = config.max_executions;
+             (* The advisor's evidence counters are per-execution, like
+                the access summary's: keep interleaving counts exact. *)
+             prune = false;
            }
          in
          let r =

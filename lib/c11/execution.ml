@@ -4,6 +4,59 @@ type problem =
   | Data_race of { first : Action.t; second : Action.t }
   | Uninitialized_load of Action.t
 
+(* ------------------------------------------------------------------ *)
+(* Canonical graph fingerprint                                         *)
+
+(* Incremental 64-bit fingerprint of the execution graph, invariant
+   under the commit interleaving: two runs whose graphs agree on
+   per-thread action sequences (kinds, locations, orders, values, and
+   reads-from expressed as the (tid, seq) of the source write), on
+   per-location modification order, and on the SC total order restricted
+   to seq_cst actions hash equal — and runs differing in any of those
+   hash differently (modulo 64-bit collisions). Thread ids are already
+   canonical: they are assigned in creation order.
+
+   Representation: an order-sensitive digest chain per thread, per
+   location (mo) and for the SC order, XOR-folded into one running
+   aggregate. Each chain update costs O(1): the aggregate is XORed with
+   [old_chain ^ new_chain], so no end-of-run walk is needed. *)
+
+let mix64 (z : int64) =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let golden = 0x9E3779B97F4A7C15L
+let h_step h x = mix64 (Int64.add (Int64.mul h golden) x)
+let h_int h i = h_step h (Int64.of_int i)
+let h_opt h = function None -> h_int h (-2) | Some v -> h_int (h_int h 2) v
+
+let kind_tag : Action.kind -> int = function
+  | Load -> 0
+  | Store -> 1
+  | Rmw -> 2
+  | Na_load -> 3
+  | Na_store -> 4
+  | Fence -> 5
+  | Create _ -> 6
+  | Start -> 7
+  | Join _ -> 8
+  | Finish -> 9
+
+(* The embedded thread id of Create/Join is part of the behaviour: it is
+   the value the operation returns to (or consumes from) the program. *)
+let kind_payload : Action.kind -> int = function
+  | Create t | Join t -> t
+  | Load | Store | Rmw | Na_load | Na_store | Fence | Start | Finish -> -1
+
+let mo_tag : Memory_order.t -> int = function
+  | Relaxed -> 0
+  | Acquire -> 1
+  | Release -> 2
+  | Acq_rel -> 3
+  | Seq_cst -> 4
+
 type thread_state = {
   mutable clock : Clock.t;  (* knowledge including own committed steps *)
   mutable seq : int;
@@ -11,12 +64,35 @@ type thread_state = {
   mutable release_fence : Clock.t option;  (* clock at the latest release fence *)
   mutable sc_fences : (int * int) list;  (* (seq, commit id), newest first *)
   mutable inherited : Clock.t;  (* parent clock at Create, joined at Start *)
+  mutable fp_chain : int64;  (* fingerprint chain over this thread's actions *)
+}
+
+(* Per-(location, thread) coherence index: the stores and atomic reads
+   this thread committed to the location, as parallel (seq, mo index)
+   arrays. Both columns are monotone — seq by construction, the write
+   mo index because commit order restricted to one location IS mo, and
+   the read mo index by the CoRR constraint (a thread's own earlier
+   reads are always hb-visible, so [min_readable_index] never lets a
+   later read observe an earlier write). Monotonicity is what lets
+   candidate filtering binary-search these instead of rescanning the
+   whole store list. *)
+type loc_thread = {
+  w_seq : int Vec.t;
+  w_idx : int Vec.t;
+  r_seq : int Vec.t;
+  r_idx : int Vec.t;
 }
 
 type loc_state = {
   stores : Action.t Vec.t;  (* every write, commit order = modification order *)
   reads : (Action.t * int) Vec.t;  (* atomic reads with the mo index they read *)
   na_reads : Action.t Vec.t;
+  mutable per_tid : loc_thread option array;  (* coherence index, grown on demand *)
+  sc_ids : int Vec.t;  (* commit ids of seq_cst stores, increasing *)
+  sc_idx : int Vec.t;  (* their mo indices, increasing *)
+  idx_of : (int, int) Hashtbl.t;  (* action id -> mo index *)
+  mutable na_stores : int;  (* non-atomic stores: gates race scans *)
+  mutable fp_mo : int64;  (* fingerprint chain over mo *)
 }
 
 type t = {
@@ -24,9 +100,19 @@ type t = {
   mutable threads : thread_state array;
   locs : (int, loc_state) Hashtbl.t;
   mutable next_loc : int;
+  mutable fp : int64;  (* XOR-fold of all fingerprint chains *)
+  mutable fp_sc : int64;  (* fingerprint chain over the SC order *)
 }
 
-let create () = { actions = Vec.create (); threads = [||]; locs = Hashtbl.create 64; next_loc = 0 }
+let create () =
+  {
+    actions = Vec.create ();
+    threads = [||];
+    locs = Hashtbl.create 64;
+    next_loc = 0;
+    fp = 0L;
+    fp_sc = 0L;
+  }
 
 let new_thread_state () =
   {
@@ -36,6 +122,7 @@ let new_thread_state () =
     release_fence = None;
     sc_fences = [];
     inherited = Clock.empty;
+    fp_chain = 0L;
   }
 
 let thread t tid =
@@ -50,13 +137,66 @@ let loc_state t loc =
   match Hashtbl.find_opt t.locs loc with
   | Some ls -> ls
   | None ->
-    let ls = { stores = Vec.create (); reads = Vec.create (); na_reads = Vec.create () } in
+    let ls =
+      {
+        stores = Vec.create ();
+        reads = Vec.create ();
+        na_reads = Vec.create ();
+        per_tid = [||];
+        sc_ids = Vec.create ();
+        sc_idx = Vec.create ();
+        idx_of = Hashtbl.create 16;
+        na_stores = 0;
+        fp_mo = h_int 0L loc;
+      }
+    in
     Hashtbl.add t.locs loc ls;
     ls
+
+let loc_tid ls tid =
+  let n = Array.length ls.per_tid in
+  if tid >= n then begin
+    let arr = Array.make (tid + 4) None in
+    Array.blit ls.per_tid 0 arr 0 n;
+    ls.per_tid <- arr
+  end;
+  match ls.per_tid.(tid) with
+  | Some tl -> tl
+  | None ->
+    let tl = { w_seq = Vec.create (); w_idx = Vec.create (); r_seq = Vec.create (); r_idx = Vec.create () } in
+    ls.per_tid.(tid) <- Some tl;
+    tl
 
 let num_actions t = Vec.length t.actions
 
 let action t id = Vec.get t.actions id
+
+let fingerprint t = mix64 (Int64.logxor t.fp (Int64.of_int (Vec.length t.actions)))
+
+(* Index maintenance on commit. *)
+
+let push_store t ls (a : Action.t) =
+  let idx = Vec.length ls.stores in
+  Vec.push ls.stores a;
+  Hashtbl.replace ls.idx_of a.id idx;
+  let tl = loc_tid ls a.tid in
+  Vec.push tl.w_seq a.seq;
+  Vec.push tl.w_idx idx;
+  if Memory_order.is_seq_cst a.mo then begin
+    Vec.push ls.sc_ids a.id;
+    Vec.push ls.sc_idx idx
+  end;
+  if a.kind = Action.Na_store then ls.na_stores <- ls.na_stores + 1;
+  let old = ls.fp_mo in
+  let nw = h_int (h_int old a.tid) a.seq in
+  ls.fp_mo <- nw;
+  t.fp <- Int64.logxor t.fp (Int64.logxor old nw)
+
+let push_read ls (a : Action.t) idx =
+  Vec.push ls.reads (a, idx);
+  let tl = loc_tid ls a.tid in
+  Vec.push tl.r_seq a.seq;
+  Vec.push tl.r_idx idx
 
 (* hb(a, b) where [b] may be a not-yet-committed action of a thread whose
    current clock is [clock_b]. *)
@@ -108,7 +248,10 @@ let is_poison (a : Action.t) = Action.is_write a && a.written_value = None
 
 (* Race detection: conflicting accesses (same location, at least one write,
    at least one non-atomic, different threads) unordered by hb. The new
-   action [a] commits last, so only hb(prev, a) needs checking. *)
+   action [a] commits last, so only hb(prev, a) needs checking. Races need
+   a non-atomic party, so for atomic accesses the scans are gated on the
+   location having non-atomic accesses at all — on atomics-only locations
+   (the common case) the check is O(1). *)
 let race_problems (ls : loc_state) (a : Action.t) =
   let races = ref [] in
   let check (prev : Action.t) =
@@ -117,26 +260,38 @@ let race_problems (ls : loc_state) (a : Action.t) =
   in
   let a_is_na = Action.is_non_atomic a in
   (* against previous writes: conflict whenever one side is non-atomic *)
-  Vec.iter (fun (w : Action.t) -> if a_is_na || Action.is_non_atomic w then check w) ls.stores;
+  if a_is_na then Vec.iter (fun (w : Action.t) -> check w) ls.stores
+  else if ls.na_stores > 0 then
+    Vec.iter (fun (w : Action.t) -> if Action.is_non_atomic w then check w) ls.stores;
   if Action.is_write a then begin
     (* against previous reads *)
-    Vec.iter (fun ((r : Action.t), _) -> if a_is_na then check r) ls.reads;
+    if a_is_na then Vec.iter (fun ((r : Action.t), _) -> check r) ls.reads;
     Vec.iter (fun (r : Action.t) -> check r) ls.na_reads
   end;
   !races
 
 let store_index (ls : loc_state) (w : Action.t) =
-  let n = Vec.length ls.stores in
-  let rec go i =
-    if i < 0 then invalid_arg "store_index: not a store of this location"
-    else if (Vec.get ls.stores i).Action.id = w.id then i
-    else go (i - 1)
-  in
-  go (n - 1)
+  match Hashtbl.find_opt ls.idx_of w.Action.id with
+  | Some i -> i
+  | None -> invalid_arg "store_index: not a store of this location"
+
+(* Largest index [j] with [v.(j) <= x] in an ascending vector, or -1. *)
+let bsearch_le (v : int Vec.t) x =
+  let lo = ref 0 and hi = ref (Vec.length v) in
+  (* invariant: v.(lo-1) <= x < v.(hi) *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Vec.get v mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
 
 (* Smallest modification-order index a new load by [tid] may read,
-   combining per-location coherence with the seq_cst rules (see .mli). *)
-let min_readable_index t ~tid ~mo (ls : loc_state) =
+   combining per-location coherence with the seq_cst rules (see .mli).
+
+   Reference implementation: rescans the full store and read lists per
+   query. Kept verbatim as the oracle for the differential tests of the
+   incremental version below. *)
+let min_readable_index_ref t ~tid ~mo (ls : loc_state) =
   let ts = thread t tid in
   let n = Vec.length ls.stores in
   let min_idx = ref 0 in
@@ -205,16 +360,88 @@ let min_readable_index t ~tid ~mo (ls : loc_state) =
     with Exit -> ());
   !min_idx
 
-let read_candidates t ~tid ~mo ~loc =
+(* Incremental version: every rule reduces to "newest store (or read)
+   of thread [u] with seq below a bound", answered by binary search on
+   the per-(location, thread) monotone index — O(threads * log stores)
+   per query instead of O(stores + reads). *)
+let min_readable_index t ~tid ~mo (ls : loc_state) =
+  let ts = thread t tid in
+  let min_idx = ref 0 in
+  let raise_to i = if i > !min_idx then min_idx := i in
+  let ntl = Array.length ls.per_tid in
+  (* CoWR/CoRW + CoRR: newest hb-visible write, and the newest mo index
+     observed by an hb-visible read, per committing thread *)
+  for u = 0 to ntl - 1 do
+    match ls.per_tid.(u) with
+    | None -> ()
+    | Some tl ->
+      let k = Clock.get ts.clock u in
+      if k > 0 then begin
+        (match bsearch_le tl.w_seq k with
+        | -1 -> ()
+        | j -> raise_to (Vec.get tl.w_idx j));
+        match bsearch_le tl.r_seq k with
+        | -1 -> ()
+        | j -> raise_to (Vec.get tl.r_idx j)
+      end
+  done;
+  let nthreads = Array.length t.threads in
+  (* seq_cst load: at least the newest seq_cst store (29.3p3), and the
+     newest store sequenced before any seq_cst fence (29.3p6) *)
+  if Memory_order.is_seq_cst mo then begin
+    if not (Vec.is_empty ls.sc_idx) then raise_to (Vec.last ls.sc_idx);
+    for u = 0 to ntl - 1 do
+      match ls.per_tid.(u) with
+      | None -> ()
+      | Some tl when u < nthreads -> (
+        match t.threads.(u).sc_fences with
+        | [] -> ()
+        | (fence_seq, _) :: _ -> (
+          (* newest store by [u] sequenced before u's newest sc fence *)
+          match bsearch_le tl.w_seq (fence_seq - 1) with
+          | -1 -> ()
+          | j -> raise_to (Vec.get tl.w_idx j)))
+      | Some _ -> ()
+    done
+  end;
+  (match ts.sc_fences with
+  | [] -> ()
+  | (_, fence_id) :: _ ->
+    (* seq_cst fence sequenced before the load (29.3p5): newest seq_cst
+       store committed before that fence *)
+    (match bsearch_le ls.sc_ids (fence_id - 1) with
+    | -1 -> ()
+    | j -> raise_to (Vec.get ls.sc_idx j));
+    (* fence-to-fence (29.3p7): store before fence X, X before our fence.
+       Per thread, seq and commit id grow together along its fence list,
+       so the newest fence with id < fence_id also has the largest seq. *)
+    for u = 0 to ntl - 1 do
+      match ls.per_tid.(u) with
+      | None -> ()
+      | Some tl when u < nthreads -> (
+        match List.find_opt (fun (_, id) -> id < fence_id) t.threads.(u).sc_fences with
+        | None -> ()
+        | Some (fence_seq, _) -> (
+          match bsearch_le tl.w_seq (fence_seq - 1) with
+          | -1 -> ()
+          | j -> raise_to (Vec.get tl.w_idx j)))
+      | Some _ -> ()
+    done);
+  !min_idx
+
+let read_candidates_of min_readable t ~tid ~mo ~loc =
   let ls = loc_state t loc in
   let n = Vec.length ls.stores in
   if n = 0 then []
   else begin
-    let min_idx = min_readable_index t ~tid ~mo ls in
+    let min_idx = min_readable t ~tid ~mo ls in
     (* newest-first *)
     let rec collect i acc = if i > n - 1 then acc else collect (i + 1) (Vec.get ls.stores i :: acc) in
     collect min_idx []
   end
+
+let read_candidates t ~tid ~mo ~loc = read_candidates_of min_readable_index t ~tid ~mo ~loc
+let read_candidates_ref t ~tid ~mo ~loc = read_candidates_of min_readable_index_ref t ~tid ~mo ~loc
 
 let rmw_candidate t ~loc =
   match Hashtbl.find_opt t.locs loc with
@@ -243,6 +470,29 @@ let mk_action t ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock 
   ts.seq <- seq;
   ts.clock <- clock;
   Vec.push t.actions a;
+  (* fingerprint: per-thread chain element — everything the action is,
+     with reads-from as the canonical (tid, seq) of the source write *)
+  let h = h_int (h_int 0x5fe1L tid) seq in
+  let h = h_int (h_int h (kind_tag kind)) (kind_payload kind) in
+  let h = h_int (h_int h loc) (mo_tag mo) in
+  let h = h_opt (h_opt h read_value) written_value in
+  let h =
+    match rf with
+    | None -> h_int h (-3)
+    | Some src ->
+      let w = Vec.get t.actions src in
+      h_int (h_int h w.Action.tid) w.Action.seq
+  in
+  let old = ts.fp_chain in
+  let nw = h_step old h in
+  ts.fp_chain <- nw;
+  t.fp <- Int64.logxor t.fp (Int64.logxor old nw);
+  if Memory_order.is_seq_cst mo then begin
+    let old = t.fp_sc in
+    let nw = h_int (h_int old tid) seq in
+    t.fp_sc <- nw;
+    t.fp <- Int64.logxor t.fp (Int64.logxor old nw)
+  end;
   a
 
 let base_clock t tid =
@@ -269,7 +519,7 @@ let commit_load t ~tid ~mo ~loc ~rf ?site () =
       mk_action t ~tid ~kind:Action.Load ~loc ~mo ~read_value ~rf:w.id ?site ~clock
         ~release_clock:None ()
     in
-    Vec.push ls.reads (a, idx);
+    push_read ls a idx;
     let problems = race_problems ls a in
     let problems = if is_poison w then Uninitialized_load a :: problems else problems in
     (a, problems)
@@ -310,7 +560,7 @@ let commit_store t ~tid ~mo ~loc ~value ?site () =
   let clock = base_clock t tid in
   let release_clock = write_release_clock t ~tid ~mo ~clock in
   let a = mk_action t ~tid ~kind:Action.Store ~loc ~mo ~written_value:value ?site ~clock ~release_clock () in
-  Vec.push ls.stores a;
+  push_store t ls a;
   (a, race_problems ls a)
 
 let commit_na_store t ~tid ~loc ~value ?site () =
@@ -320,7 +570,7 @@ let commit_na_store t ~tid ~loc ~value ?site () =
     mk_action t ~tid ~kind:Action.Na_store ~loc ~mo:Memory_order.Relaxed ~written_value:value ?site ~clock
       ~release_clock:None ()
   in
-  Vec.push ls.stores a;
+  push_store t ls a;
   (a, race_problems ls a)
 
 let commit_rmw t ~tid ~mo ~loc ~value ?site () =
@@ -339,8 +589,8 @@ let commit_rmw t ~tid ~mo ~loc ~value ?site () =
     mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value ~written_value:value
       ~rf:w.Action.id ?site ~clock ~release_clock ()
   in
-  Vec.push ls.reads (a, idx);
-  Vec.push ls.stores a;
+  push_read ls a idx;
+  push_store t ls a;
   let problems = race_problems ls a in
   let problems = if is_poison w then Uninitialized_load a :: problems else problems in
   (a, problems)
@@ -388,7 +638,7 @@ let commit_poison t ~tid ~loc =
     mk_action t ~tid ~kind:Action.Store ~loc ~mo:Memory_order.Relaxed ~site:"<alloc>" ~clock
       ~release_clock:None ()
   in
-  Vec.push ls.stores a
+  push_store t ls a
 
 let alloc t ~tid ~count ~init =
   let base = t.next_loc in

@@ -46,8 +46,16 @@ val commit_join : t -> tid:int -> target:int -> Action.t
 (** [read_candidates t ~tid ~mo ~loc] lists the writes a new atomic load
     by [tid] with order [mo] may read from, newest-first, after coherence
     and SC filtering. The empty list means the location is
-    uninitialized. *)
+    uninitialized. Candidate filtering is incremental: per-(location,
+    thread) monotone coherence indices are maintained on every commit,
+    so one query costs O(threads * log stores) instead of rescanning the
+    store and read lists. *)
 val read_candidates : t -> tid:int -> mo:Memory_order.t -> loc:int -> Action.t list
+
+(** Reference implementation of {!read_candidates} that rescans the full
+    per-location store/read lists per query — the oracle the incremental
+    coherence indices are differentially tested against. *)
+val read_candidates_ref : t -> tid:int -> mo:Memory_order.t -> loc:int -> Action.t list
 
 (** The unique write an RMW may read: the mo-maximal write, if any. *)
 val rmw_candidate : t -> loc:int -> Action.t option
@@ -102,5 +110,16 @@ val happens_before : t -> int -> int -> bool
     the SC total order — the relation that orders ordering points (paper
     section 5.2). *)
 val hb_or_sc : t -> int -> int -> bool
+
+(** Canonical 64-bit fingerprint of the execution graph committed so
+    far, invariant under the commit interleaving: it digests the
+    per-thread action sequences (kind, location, memory order, values,
+    and reads-from as the (tid, seq) of the source write), per-location
+    modification order, and the SC total order restricted to seq_cst
+    actions. Two runs hash equal iff their graphs agree on all of those
+    (modulo 64-bit collisions); maintained incrementally, so a call is
+    O(1). Thread ids are canonical already — they are assigned in
+    creation order. *)
+val fingerprint : t -> int64
 
 val pp : Format.formatter -> t -> unit

@@ -48,6 +48,7 @@ type result = {
   bias : Bias.policy;
   stats : stats;
   found : found list;
+  graphs : int64 list;
   first_buggy_trace : string option;
   first_buggy_exec : C11.Execution.t option;
 }
@@ -63,7 +64,7 @@ let bugs_of_run ?on_feasible (r : S.run_result) =
     match r.bugs, on_feasible with
     | [], Some check -> check r.exec r.annots
     | builtin, _ -> builtin)
-  | S.Pruned_loop_bound _ | S.Pruned_max_actions | S.Pruned_sleep_set -> []
+  | S.Pruned_loop_bound _ | S.Pruned_max_actions | S.Pruned_sleep_set | S.Pruned_equiv -> []
 
 let replay ?(scheduler = default_config.scheduler) ?on_feasible ~decisions main =
   let scheduler = { scheduler with S.sleep_sets = false } in
@@ -147,7 +148,8 @@ let run ?(config = default_config) ?on_feasible
         end)
     | S.Pruned_loop_bound _ -> incr pruned_loop
     | S.Pruned_max_actions -> incr pruned_max
-    | S.Pruned_sleep_set -> () (* unreachable: sleep sets are disabled *));
+    | S.Pruned_sleep_set -> () (* unreachable: sleep sets are disabled *)
+    | S.Pruned_equiv -> () (* unreachable: no [prune] callback is passed *));
     if !continue_ then begin
       let capped =
         match config.max_executions with Some m -> !executions >= m | None -> false
@@ -179,6 +181,8 @@ let run ?(config = default_config) ?on_feasible
         check = check ();
       };
     found = List.rev !found;
+    graphs =
+      List.sort_uniq Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) coverage []);
     first_buggy_trace = !first_buggy_trace;
     first_buggy_exec = !first_buggy_exec;
   }
@@ -192,6 +196,8 @@ let explorer_result (r : result) : Mc.Explorer.result =
         pruned_loop_bound = r.stats.pruned_loop_bound;
         pruned_max_actions = r.stats.pruned_max_actions;
         pruned_sleep_set = 0;
+        pruned_equiv = 0;
+        distinct_graphs = r.stats.coverage;
         buggy = r.stats.buggy;
         truncated = r.stats.truncated;
         time = r.stats.time;
@@ -200,6 +206,7 @@ let explorer_result (r : result) : Mc.Explorer.result =
     bugs = List.map (fun f -> f.bug) r.found;
     first_buggy_trace = r.first_buggy_trace;
     first_buggy_exec = r.first_buggy_exec;
+    graphs = r.graphs;
   }
 
 let trace_to_string l = String.concat "." (List.map string_of_int l)

@@ -64,6 +64,10 @@ type result = {
   bias : Bias.policy;
   stats : stats;
   found : found list;  (** deduplicated by {!Mc.Bug.key}, discovery order *)
+  graphs : int64 list;
+      (** sorted distinct {!Fingerprint.execution} values seen — the
+          campaign's coverage set, comparable against the exhaustive
+          explorer's [graphs] (same canonical fingerprint) *)
   first_buggy_trace : string option;
   first_buggy_exec : C11.Execution.t option;
 }

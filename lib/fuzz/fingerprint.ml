@@ -1,51 +1,10 @@
-module A = C11.Action
-
-let kind_tag : A.kind -> int = function
-  | Load -> 0
-  | Store -> 1
-  | Rmw -> 2
-  | Na_load -> 3
-  | Na_store -> 4
-  | Fence -> 5
-  | Create _ -> 6
-  | Start -> 7
-  | Join _ -> 8
-  | Finish -> 9
-
-let kind_payload : A.kind -> int = function
-  | Create t | Join t -> t
-  | Load | Store | Rmw | Na_load | Na_store | Fence | Start | Finish -> 0
-
-let mo_tag : C11.Memory_order.t -> int = function
-  | Relaxed -> 0
-  | Acquire -> 1
-  | Release -> 2
-  | Acq_rel -> 3
-  | Seq_cst -> 4
-
-(* FNV-1a over the ints describing each action, in commit order. The
-   commit order doubles as modification order and the SC order, so it is
-   part of the behaviour, not an artifact. *)
-let prime = 0x100000001B3L
-let offset = 0xCBF29CE484222325L
-
-let fnv h v = Int64.mul (Int64.logxor h (Int64.of_int v)) prime
-
-let fnv_opt h = function
-  | None -> fnv h (-1)
-  | Some v -> fnv (fnv h 1) v
-
-let execution exec =
-  let h = ref offset in
-  for i = 0 to C11.Execution.num_actions exec - 1 do
-    let a = C11.Execution.action exec i in
-    h := fnv !h a.tid;
-    h := fnv !h (kind_tag a.kind);
-    h := fnv !h (kind_payload a.kind);
-    h := fnv !h a.loc;
-    h := fnv !h (mo_tag a.mo);
-    h := fnv_opt !h a.read_value;
-    h := fnv_opt !h a.written_value;
-    h := fnv_opt !h a.rf
-  done;
-  !h
+(* Delegates to the canonical execution-graph fingerprint maintained
+   incrementally by [C11.Execution] (per-thread action sequences + rf +
+   mo + SC order, tids normalized by creation order). Reusing the
+   explorer's equivalence-pruning hash makes fuzz coverage directly
+   comparable with the exhaustive explorer's [distinct_graphs]: a fuzz
+   campaign's coverage set is a subset of the exhaustive graph set for
+   the same program. It is also O(1) per call — the hash is folded in as
+   actions commit — where the previous FNV pass rescanned the whole
+   committed action list. *)
+let execution = C11.Execution.fingerprint

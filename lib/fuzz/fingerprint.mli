@@ -1,11 +1,15 @@
-(** Execution fingerprints for coverage accounting: two runs that commit
-    the same action sequence (same threads, kinds, locations, orders,
-    values and reads-from edges, in the same commit order) hash equal, so
-    the number of distinct fingerprints counts the distinct behaviours a
-    fuzz campaign has actually exercised — random walks revisit the same
-    executions constantly, and raw run counts wildly overstate
-    coverage. *)
+(** Execution fingerprints for coverage accounting: two runs that induce
+    the same execution graph (same per-thread action sequences, reads-from
+    edges, modification order and SC order, with thread ids normalized by
+    creation order) hash equal, so the number of distinct fingerprints
+    counts the distinct behaviours a fuzz campaign has actually exercised
+    — random walks revisit the same executions constantly, and raw run
+    counts wildly overstate coverage. *)
 
-(** Hash of the committed action graph. Deterministic across runs and
-    processes (no randomized hashing). *)
+(** Canonical hash of the committed execution graph — an alias for
+    {!C11.Execution.fingerprint}, the same hash the exhaustive explorer's
+    equivalence pruning and [distinct_graphs] counter use, so fuzz
+    coverage and exhaustive graph counts share a denominator. O(1): the
+    hash is maintained incrementally as actions commit. Deterministic
+    across runs and processes (no randomized hashing). *)
 val execution : C11.Execution.t -> int64

@@ -6,6 +6,7 @@ type limits = {
   checker : Cdsspec.Checker.config;
   jobs : int;
   check_cache : bool;  (* memoize per-object check verdicts across executions *)
+  prune : bool;  (* execution-graph equivalence pruning *)
 }
 
 let default_limits =
@@ -14,6 +15,7 @@ let default_limits =
     checker = Cdsspec.Checker.default_config;
     jobs = 1;
     check_cache = true;
+    prune = true;
   }
 
 let jobs_of_env () =
@@ -33,7 +35,12 @@ let explore ~limits (b : B.t) ~ords (t : B.test) =
   let cache = Cdsspec.Checker.create_cache ~memoize:limits.check_cache () in
   Mc.Parallel.explore ~jobs:limits.jobs
     ~config:
-      { E.default_config with scheduler = b.scheduler; max_executions = Some limits.max_executions }
+      {
+        E.default_config with
+        scheduler = b.scheduler;
+        max_executions = Some limits.max_executions;
+        prune = limits.prune;
+      }
     ~on_feasible:(Cdsspec.Checker.hook ~config:limits.checker ~cache b.spec)
     ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
     (t.program ords)

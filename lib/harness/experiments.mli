@@ -14,6 +14,10 @@ type limits = {
       (** memoize per-object check verdicts across executions (one fresh
           cache per exploration run); [false] keeps the counters but
           stores nothing — the benchmark baseline *)
+  prune : bool;
+      (** execution-graph equivalence pruning ({!Mc.Explorer.config}'s
+          [prune]); [false] restores exact interleaving counts — the
+          pruning benchmark's baseline *)
 }
 
 val default_limits : limits

@@ -4,9 +4,11 @@ type config = {
   scheduler : Scheduler.config;
   max_executions : int option;
   progress : (int -> unit) option;
+  prune : bool;
 }
 
-let default_config = { scheduler = Scheduler.default_config; max_executions = None; progress = None }
+let default_config =
+  { scheduler = Scheduler.default_config; max_executions = None; progress = None; prune = true }
 
 type check_counters = {
   cache_hits : int;
@@ -31,6 +33,8 @@ type stats = {
   pruned_loop_bound : int;
   pruned_max_actions : int;
   pruned_sleep_set : int;
+  pruned_equiv : int;
+  distinct_graphs : int;
   buggy : int;
   truncated : bool;
   time : float;
@@ -42,14 +46,28 @@ type result = {
   bugs : Bug.t list;
   first_buggy_trace : string option;
   first_buggy_exec : C11.Execution.t option;
+  graphs : int64 list;
 }
+
+(* Decision records are mutated by [backtrack]; a prefix handed to
+   another explorer (a parallel work item, or a stolen subtree) must own
+   its records — and the candidates array, to keep the copy
+   self-contained — or explorers would race on [sched_chosen]. *)
+let copy_decision : Scheduler.decision -> Scheduler.decision = function
+  | Scheduler.Sched d ->
+    Scheduler.Sched
+      { sched_chosen = d.sched_chosen; candidates = Array.copy d.candidates; state = d.state }
+  | Choice d -> Choice { choice_chosen = d.choice_chosen; num = d.num }
 
 (* Advance [trace] to the next unexplored branch: drop exhausted trailing
    decisions and bump the deepest one with alternatives left. Returns
    false when the whole (sub)tree has been explored. The first [frozen]
    decisions are never flipped or popped: they pin the subtree being
-   explored (the parallel explorer freezes a prefix per work item). *)
-let backtrack ?(frozen = 0) (trace : Scheduler.decision Vec.t) =
+   explored (the parallel explorer freezes a prefix per work item).
+   [close] is called with the state key of every popped scheduling
+   decision — popping it means its subtree is now fully explored, which
+   is what arms equivalence pruning against that state. *)
+let backtrack ?(frozen = 0) ?close (trace : Scheduler.decision Vec.t) =
   let rec go () =
     if Vec.length trace <= frozen then false
     else begin
@@ -60,15 +78,32 @@ let backtrack ?(frozen = 0) (trace : Scheduler.decision Vec.t) =
       | Choice d when d.choice_chosen + 1 < d.num ->
         d.choice_chosen <- d.choice_chosen + 1;
         true
-      | Sched _ | Choice _ ->
+      | Sched { state; _ } ->
+        (match state, close with Some k, Some f -> f k | _ -> ());
+        ignore (Vec.pop trace);
+        go ()
+      | Choice _ ->
         ignore (Vec.pop trace);
         go ()
     end
   in
   go ()
 
+(* The shallowest level >= [frozen] of [trace] with unexplored sibling
+   branches — the donation point for work stealing (shallowest = the
+   largest remaining chunk of this subtree). *)
+let donatable ~frozen (trace : Scheduler.decision Vec.t) =
+  let n = Vec.length trace in
+  let rec go i =
+    if i >= n then None
+    else
+      let d = Vec.get trace i in
+      if Scheduler.decision_chosen d + 1 < Scheduler.decision_arity d then Some i else go (i + 1)
+  in
+  go frozen
+
 let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> no_check_counters)
-    ?stop ~trace ~frozen main =
+    ?stop ?want_split ?on_split ~trace ~frozen main =
   let t0 = Monotonic.now () in
   (* Time spent in the caller's [progress] callback is the caller's, not
      the search's: subtract it, or a slow reporter inflates [stats.time]. *)
@@ -78,12 +113,28 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
   let pruned_loop = ref 0 in
   let pruned_max = ref 0 in
   let pruned_sleep = ref 0 in
+  let pruned_equiv = ref 0 in
   let buggy = ref 0 in
   let truncated = ref false in
   let seen_bugs : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let bugs = ref [] in
   let first_buggy_trace = ref None in
   let first_buggy_exec = ref None in
+  (* Fully-explored decision-point states: a fresh decision point whose
+     key is in here can only replay an already-explored subtree, so the
+     scheduler aborts the run with [Pruned_equiv]. Soundness: keys are
+     only added when backtracking pops the decision (subtree complete),
+     and the DFS-first representative of every state is therefore never
+     pruned. *)
+  let visited : (Scheduler.prune_key, unit) Hashtbl.t = Hashtbl.create 256 in
+  let close k = Hashtbl.replace visited k () in
+  let prune = if config.prune then Some (fun k -> Hashtbl.mem visited k) else None in
+  (* Distinct feasible execution graphs, by canonical fingerprint. Under
+     pruning, repeated graphs also skip [on_feasible] and bug recording:
+     an identical graph yields identical bugs and verdicts, all already
+     recorded at its first (DFS-earliest) occurrence. *)
+  let graphs : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
+  let frozen = ref frozen in
   let record_bugs exec found =
     if found <> [] then begin
       incr buggy;
@@ -103,7 +154,7 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
   in
   let continue_ = ref true in
   while !continue_ do
-    let r = Scheduler.run ~config:config.scheduler ~trace main in
+    let r = Scheduler.run ?prune ~config:config.scheduler ~trace main in
     incr explored;
     (match config.progress with
     | Some f when !explored mod 1024 = 0 ->
@@ -114,23 +165,59 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
     (match r.outcome with
     | Scheduler.Complete ->
       incr feasible;
-      let found =
-        match r.bugs, on_feasible with
-        | [], Some check -> check r.exec r.annots
-        | builtin, _ -> builtin
-      in
-      record_bugs r.exec found
+      let fp = C11.Execution.fingerprint r.exec in
+      let fresh = not (Hashtbl.mem graphs fp) in
+      if fresh then Hashtbl.add graphs fp ();
+      if fresh || not config.prune then begin
+        let found =
+          match r.bugs, on_feasible with
+          | [], Some check -> check r.exec r.annots
+          | builtin, _ -> builtin
+        in
+        record_bugs r.exec found
+      end
     | Pruned_loop_bound _ -> incr pruned_loop
     | Pruned_max_actions -> incr pruned_max
-    | Pruned_sleep_set -> incr pruned_sleep);
+    | Pruned_sleep_set -> incr pruned_sleep
+    | Pruned_equiv -> incr pruned_equiv);
     let stopped = match stop with Some f -> f () | None -> false in
     let capped = match config.max_executions with Some m -> !explored >= m | None -> false in
     if stopped || capped then begin
       truncated := true;
       continue_ := false
     end
-    else if not (backtrack ~frozen trace) then continue_ := false
+    else if not (backtrack ~frozen:!frozen ~close trace) then continue_ := false
+    else begin
+      (* Work stealing: when the pool is hungry, donate the shallowest
+         unexplored sibling branches — the largest chunk — as one new
+         work item, then freeze that level so this explorer never
+         re-enters what it gave away. *)
+      match want_split, on_split with
+      | Some want, Some give when want () -> (
+        match donatable ~frozen:!frozen trace with
+        | None -> ()
+        | Some i ->
+          let key =
+            List.init (i + 1) (fun j ->
+                let c = Scheduler.decision_chosen (Vec.get trace j) in
+                if j = i then c + 1 else c)
+          in
+          let prefix =
+            Array.init (i + 1) (fun j ->
+                let d = copy_decision (Vec.get trace j) in
+                if j = i then begin
+                  match d with
+                  | Scheduler.Sched s -> s.sched_chosen <- s.sched_chosen + 1
+                  | Choice c -> c.choice_chosen <- c.choice_chosen + 1
+                end;
+                d)
+          in
+          give ~key ~prefix ~frozen:i;
+          frozen := i + 1)
+      | _ -> ()
+    end
   done;
+  let graph_list = List.sort_uniq Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) graphs []) in
   {
     stats =
       {
@@ -139,6 +226,8 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
         pruned_loop_bound = !pruned_loop;
         pruned_max_actions = !pruned_max;
         pruned_sleep_set = !pruned_sleep;
+        pruned_equiv = !pruned_equiv;
+        distinct_graphs = Hashtbl.length graphs;
         buggy = !buggy;
         truncated = !truncated;
         time = Monotonic.now () -. t0 -. !progress_overhead;
@@ -147,6 +236,7 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
     bugs = List.rev !bugs;
     first_buggy_trace = !first_buggy_trace;
     first_buggy_exec = !first_buggy_exec;
+    graphs = graph_list;
   }
 
 let explore ?config ?on_feasible ?check main =

@@ -1,11 +1,22 @@
 (** Exhaustive stateless exploration: depth-first search over the choice
     tree (scheduling choices × reads-from choices), replaying the program
-    from scratch for each execution, as CDSChecker does. *)
+    from scratch for each execution, as CDSChecker does — augmented with
+    execution-graph equivalence pruning, so each *behaviour* is visited
+    once rather than each *interleaving*. *)
 
 type config = {
   scheduler : Scheduler.config;
   max_executions : int option;  (** stop after this many runs; None = exhaust *)
   progress : (int -> unit) option;  (** called with the run count periodically *)
+  prune : bool;
+      (** equivalence pruning (default on): cut a decision subtree whose
+          canonical state key ({!Scheduler.prune_key} — graph fingerprint
+          + sleep set) matches an already fully-explored decision point,
+          and skip [on_feasible] on repeated execution graphs. The set of
+          distinct feasible graphs, the deduplicated bug list and the
+          checker verdicts are unchanged; [explored]-style counters
+          shrink (that is the point). [--no-prune] in [cdsspec_run] maps
+          to [false]. *)
 }
 
 val default_config : config
@@ -37,6 +48,13 @@ type stats = {
   pruned_loop_bound : int;
   pruned_max_actions : int;
   pruned_sleep_set : int;
+  pruned_equiv : int;
+      (** runs cut by equivalence pruning: their decision-point state key
+          matched an already fully-explored one *)
+  distinct_graphs : int;
+      (** distinct feasible execution graphs, by canonical fingerprint
+          ({!C11.Execution.fingerprint}); the coverage denominator
+          [pruned_equiv] trades interleavings against *)
   buggy : int;  (** feasible executions on which at least one bug fired *)
   truncated : bool;  (** true when max_executions stopped the search *)
   time : float;
@@ -54,22 +72,38 @@ type result = {
       (** pretty-printed action log of the first buggy execution *)
   first_buggy_exec : C11.Execution.t option;
       (** the graph itself, e.g. for {!C11.Dot} rendering *)
+  graphs : int64 list;
+      (** sorted canonical fingerprints of every distinct feasible
+          execution graph — what the pruned-vs-unpruned differential
+          tests compare, and what {!Parallel} unions across subtrees *)
 }
 
-(** [backtrack ?frozen trace] advances [trace] to the next unexplored
-    branch: drops exhausted trailing decisions and bumps the deepest one
-    with alternatives left, returning [false] once the (sub)tree is
-    exhausted. The first [frozen] decisions (default 0) are never flipped
-    or popped — they pin a subtree, which is how {!Parallel} partitions
-    the decision tree into independent work items. *)
-val backtrack : ?frozen:int -> Scheduler.decision C11.Vec.t -> bool
+(** Deep-copy a decision record (including the candidates array): decision
+    records are mutated by {!backtrack}, so a prefix handed to another
+    explorer — a parallel work item, or a stolen subtree — must own its
+    records or explorers would race on the chosen index. *)
+val copy_decision : Scheduler.decision -> Scheduler.decision
+
+(** [backtrack ?frozen ?close trace] advances [trace] to the next
+    unexplored branch: drops exhausted trailing decisions and bumps the
+    deepest one with alternatives left, returning [false] once the
+    (sub)tree is exhausted. The first [frozen] decisions (default 0) are
+    never flipped or popped — they pin a subtree, which is how
+    {!Parallel} partitions the decision tree into independent work items.
+    [close] is called with the state key of every popped scheduling
+    decision: popping means its subtree is fully explored, which is what
+    arms equivalence pruning against that state. *)
+val backtrack :
+  ?frozen:int -> ?close:(Scheduler.prune_key -> unit) -> Scheduler.decision C11.Vec.t -> bool
 
 (** [explore ~config ?on_feasible main] enumerates the behaviours of
     [main]. [on_feasible] runs on every complete bug-free execution (the
     specification checker hooks in here) and returns any violations it
-    finds, which are recorded like built-in bugs. [check], when given, is
-    called once at the end of the search and its snapshot lands in
-    [stats.check] — the checking hook's counter export. *)
+    finds, which are recorded like built-in bugs; under [config.prune] it
+    is skipped on repeated execution graphs (an identical graph yields
+    identical verdicts). [check], when given, is called once at the end
+    of the search and its snapshot lands in [stats.check] — the checking
+    hook's counter export. *)
 val explore :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
@@ -83,12 +117,26 @@ val explore :
     enumerated. [stop] is polled once per completed run (after it is
     counted); returning [true] truncates the search — the parallel
     explorer uses it to enforce a global execution cap across domains.
+
+    [want_split]/[on_split] are the work-stealing donation hooks: after
+    every successful backtrack, if [want_split ()] holds (the pool has
+    idle domains), the shallowest level >= the current frozen depth with
+    unexplored sibling branches is donated — [on_split ~key ~prefix
+    ~frozen] receives a self-contained deep-copied decision prefix
+    pinning those siblings, plus its canonical [key] (the chosen-index
+    path, which is its DFS position — lexicographic key order is
+    subtree DFS order), and the donor freezes that level so it never
+    re-enters what it gave away. Everything a donor subsequently
+    explores or donates is DFS-before the donated subtree.
+
     [explore] is [explore_subtree ~trace:(Vec.create ()) ~frozen:0]. *)
 val explore_subtree :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
   ?check:(unit -> check_counters) ->
   ?stop:(unit -> bool) ->
+  ?want_split:(unit -> bool) ->
+  ?on_split:(key:int list -> prefix:Scheduler.decision array -> frozen:int -> unit) ->
   trace:Scheduler.decision C11.Vec.t ->
   frozen:int ->
   (unit -> unit) ->

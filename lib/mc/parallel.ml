@@ -1,15 +1,9 @@
 module Vec = C11.Vec
 
-(* ------------------------------------------------------------------ *)
-(* Decision prefixes                                                   *)
+let copy_decision = Explorer.copy_decision
 
-(* Decision records are mutated by [Explorer.backtrack]; a prefix handed
-   to a worker must own its records (and the candidates array, to keep
-   the copy self-contained), or domains would race on [sched_chosen]. *)
-let copy_decision : Scheduler.decision -> Scheduler.decision = function
-  | Scheduler.Sched d ->
-    Scheduler.Sched { sched_chosen = d.sched_chosen; candidates = Array.copy d.candidates }
-  | Choice d -> Choice { choice_chosen = d.choice_chosen; num = d.num }
+(* ------------------------------------------------------------------ *)
+(* Decision prefixes (static split)                                    *)
 
 (* Enumerate every realizable decision prefix of length <= [depth], in
    DFS (lexicographic) order: run once to materialize the current path,
@@ -46,13 +40,15 @@ let auto_split ~config ~jobs main =
   go 3 (-1)
 
 (* ------------------------------------------------------------------ *)
-(* Domain pool                                                         *)
+(* Merging                                                             *)
 
-(* [check] is a single end-of-run snapshot of the (shared) checking-hook
-   counters. Per-subtree snapshots of a cache shared across domains are
-   cumulative at whatever moment each subtree finished, so summing them
-   would double-count: only the final snapshot is correct. *)
-let merge ~t0 ~stopped ~check (results : Explorer.result option array) : Explorer.result =
+(* [results] must arrive in DFS (canonical-prefix) order — never
+   completion order — so parallel runs report the serial explorer's bug
+   list order and first buggy trace. [check] is a single end-of-run
+   snapshot of the (shared) checking-hook counters: per-subtree
+   snapshots of a cache shared across domains are cumulative at whatever
+   moment each subtree finished, so summing them would double-count. *)
+let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result =
   let zero =
     {
       Explorer.explored = 0;
@@ -60,6 +56,8 @@ let merge ~t0 ~stopped ~check (results : Explorer.result option array) : Explore
       pruned_loop_bound = 0;
       pruned_max_actions = 0;
       pruned_sleep_set = 0;
+      pruned_equiv = 0;
+      distinct_graphs = 0;
       buggy = 0;
       truncated = stopped;
       time = 0.;
@@ -67,109 +65,235 @@ let merge ~t0 ~stopped ~check (results : Explorer.result option array) : Explore
     }
   in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let graphs : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
   let stats = ref zero in
   let bugs = ref [] in
   let first_trace = ref None in
   let first_exec = ref None in
-  Array.iter
-    (fun r ->
-      match r with
-      | None -> stats := { !stats with truncated = true }
-      | Some (r : Explorer.result) ->
-        let s = !stats in
-        stats :=
-          {
-            explored = s.explored + r.stats.explored;
-            feasible = s.feasible + r.stats.feasible;
-            pruned_loop_bound = s.pruned_loop_bound + r.stats.pruned_loop_bound;
-            pruned_max_actions = s.pruned_max_actions + r.stats.pruned_max_actions;
-            pruned_sleep_set = s.pruned_sleep_set + r.stats.pruned_sleep_set;
-            buggy = s.buggy + r.stats.buggy;
-            truncated = s.truncated || r.stats.truncated;
-            time = s.time;
-            check = s.check;
-          };
-        List.iter
-          (fun b ->
-            let key = Bug.key b in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.add seen key ();
-              bugs := b :: !bugs
-            end)
-          r.bugs;
-        if !first_trace = None then begin
-          match r.first_buggy_trace with
-          | Some _ ->
-            first_trace := r.first_buggy_trace;
-            first_exec := r.first_buggy_exec
-          | None -> ()
-        end)
+  List.iter
+    (fun (r : Explorer.result) ->
+      let s = !stats in
+      stats :=
+        {
+          explored = s.explored + r.stats.explored;
+          feasible = s.feasible + r.stats.feasible;
+          pruned_loop_bound = s.pruned_loop_bound + r.stats.pruned_loop_bound;
+          pruned_max_actions = s.pruned_max_actions + r.stats.pruned_max_actions;
+          pruned_sleep_set = s.pruned_sleep_set + r.stats.pruned_sleep_set;
+          pruned_equiv = s.pruned_equiv + r.stats.pruned_equiv;
+          distinct_graphs = 0 (* set from the union below *);
+          buggy = s.buggy + r.stats.buggy;
+          truncated = s.truncated || r.stats.truncated;
+          time = s.time;
+          check = s.check;
+        };
+      List.iter (fun fp -> Hashtbl.replace graphs fp ()) r.graphs;
+      List.iter
+        (fun b ->
+          let key = Bug.key b in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            bugs := b :: !bugs
+          end)
+        r.bugs;
+      if !first_trace = None then begin
+        match r.first_buggy_trace with
+        | Some _ ->
+          first_trace := r.first_buggy_trace;
+          first_exec := r.first_buggy_exec
+        | None -> ()
+      end)
     results;
+  let graph_list =
+    List.sort_uniq Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) graphs [])
+  in
   {
-    stats = { !stats with time = Monotonic.now () -. t0 };
+    stats =
+      {
+        !stats with
+        distinct_graphs = Hashtbl.length graphs;
+        time = Monotonic.now () -. t0;
+      };
     bugs = List.rev !bugs;
     first_buggy_trace = !first_trace;
     first_buggy_exec = !first_exec;
+    graphs = graph_list;
   }
 
-let explore ?(config = Explorer.default_config) ?on_feasible ?check ?(jobs = 1) ?split_depth main
-    =
-  if jobs <= 1 then Explorer.explore ~config ?on_feasible ?check main
-  else begin
-    let t0 = Monotonic.now () in
-    let work =
-      Array.of_list
-        (match split_depth with
-        | Some depth -> prefixes ~config:config.scheduler ~depth main
-        | None -> auto_split ~config:config.scheduler ~jobs main)
-    in
-    let n = Array.length work in
-    (* Results indexed by prefix: merge order is the DFS order of the
-       enumeration, never completion order, so parallel runs report the
-       same bug list and first buggy trace as the serial explorer. *)
-    let results : Explorer.result option array = Array.make n None in
-    let next = Atomic.make 0 in
-    let halted = Atomic.make false in
-    (* Workers explore whole subtrees with no per-subtree cap; the global
-       cap is enforced by [stop], polled after every counted run. *)
-    let stop =
-      match config.max_executions with
-      | None -> None
-      | Some m ->
-        let counter = Atomic.make 0 in
-        Some
-          (fun () ->
-            if Atomic.fetch_and_add counter 1 + 1 >= m then begin
-              Atomic.set halted true;
-              true
-            end
-            else Atomic.get halted)
-    in
-    let subtree_config = { config with max_executions = None } in
-    let worker () =
-      let rec loop () =
-        if not (Atomic.get halted) then begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            let trace = Vec.create () in
-            Array.iter (fun d -> Vec.push trace (copy_decision d)) work.(i);
-            let r =
-              Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ~trace
-                ~frozen:(Array.length work.(i))
-                main
-            in
-            results.(i) <- Some r;
-            loop ()
-          end
+(* Global execution cap across domains: each worker polls [stop] after
+   every counted run; the shared counter trips [halted] exactly once. *)
+let make_stop ~halted = function
+  | None -> None
+  | Some m ->
+    let counter = Atomic.make 0 in
+    Some
+      (fun () ->
+        if Atomic.fetch_and_add counter 1 + 1 >= m then begin
+          Atomic.set halted true;
+          true
         end
-      in
-      loop ()
+        else Atomic.get halted)
+
+(* ------------------------------------------------------------------ *)
+(* Static split: enumerate prefixes up front, drain them from a pool.   *)
+
+let explore_static ~config ?on_feasible ?check ~jobs ~split_depth main =
+  let t0 = Monotonic.now () in
+  let work =
+    Array.of_list
+      (match split_depth with
+      | Some depth -> prefixes ~config:config.Explorer.scheduler ~depth main
+      | None -> auto_split ~config:config.Explorer.scheduler ~jobs main)
+  in
+  let n = Array.length work in
+  (* Results indexed by prefix: merge order is the DFS order of the
+     enumeration, never completion order. *)
+  let results : Explorer.result option array = Array.make n None in
+  let halted = Atomic.make false in
+  let stop = make_stop ~halted config.Explorer.max_executions in
+  let subtree_config = { config with Explorer.max_executions = None } in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      if not (Atomic.get halted) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let trace = Vec.create () in
+          Array.iter (fun d -> Vec.push trace (copy_decision d)) work.(i);
+          let r =
+            Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ~trace
+              ~frozen:(Array.length work.(i))
+              main
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      end
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    let final_check =
-      match check with Some f -> f () | None -> Explorer.no_check_counters
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  let final_check = match check with Some f -> f () | None -> Explorer.no_check_counters in
+  let stopped = Atomic.get halted in
+  (* A None slot means the cap halted the pool before that subtree ran:
+     the merged result is truncated either way. *)
+  let ordered =
+    Array.to_list results |> List.filter_map (fun r -> r)
+  in
+  merge ~t0 ~stopped ~check:final_check ordered
+
+(* ------------------------------------------------------------------ *)
+(* Work stealing                                                       *)
+
+(* A unit of work: a frozen decision prefix pinning one subtree, plus its
+   canonical [key] — the chosen-index path of the prefix, which is the
+   subtree's DFS position. Items are created by donation ([on_split] in
+   the subtree explorer): a busy domain carves off the shallowest
+   unexplored sibling branches of its current path whenever some domain
+   is starving. Because the donor freezes the donated level, everything
+   it subsequently explores or donates is DFS-before the donated
+   subtree; item intervals therefore partition the DFS order, and
+   lexicographic key order *is* DFS order — merging results sorted by
+   key reproduces the serial explorer's bug order exactly. *)
+type work_item = { key : int list; prefix : Scheduler.decision array; frozen : int }
+
+let explore_steal ~config ?on_feasible ?check ~jobs main =
+  let t0 = Monotonic.now () in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let queue : work_item Queue.t = Queue.create () in
+  let active = ref 0 in
+  let finished = ref false in
+  let results : (int list * Explorer.result) list ref = ref [] in
+  (* Domains blocked waiting for work. Read lock-free by busy donors:
+     [want_split] must be cheap enough to poll after every backtrack. *)
+  let waiting = Atomic.make 0 in
+  let halted = Atomic.make false in
+  let stop = make_stop ~halted config.Explorer.max_executions in
+  let subtree_config = { config with Explorer.max_executions = None } in
+  Queue.push { key = []; prefix = [||]; frozen = 0 } queue;
+  let want_split () = Atomic.get waiting > 0 && not (Atomic.get halted) in
+  let give ~key ~prefix ~frozen =
+    Mutex.lock mutex;
+    Queue.push { key; prefix; frozen } queue;
+    Condition.signal cond;
+    Mutex.unlock mutex
+  in
+  let take () =
+    Mutex.lock mutex;
+    let rec wait () =
+      if !finished then begin
+        Mutex.unlock mutex;
+        None
+      end
+      else
+        match Queue.take_opt queue with
+        | Some item ->
+          incr active;
+          Mutex.unlock mutex;
+          Some item
+        | None ->
+          if !active = 0 then begin
+            finished := true;
+            Condition.broadcast cond;
+            Mutex.unlock mutex;
+            None
+          end
+          else begin
+            Atomic.incr waiting;
+            Condition.wait cond mutex;
+            Atomic.decr waiting;
+            wait ()
+          end
     in
-    merge ~t0 ~stopped:(Atomic.get halted) ~check:final_check results
-  end
+    wait ()
+  in
+  let finish key r =
+    Mutex.lock mutex;
+    (match r with Some r -> results := (key, r) :: !results | None -> ());
+    decr active;
+    if !active = 0 && Queue.is_empty queue then begin
+      finished := true;
+      Condition.broadcast cond
+    end;
+    Mutex.unlock mutex
+  in
+  let worker () =
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some item ->
+        (* After a global halt, drain remaining items without exploring
+           them — the merged result is truncated either way. *)
+        if Atomic.get halted then finish item.key None
+        else begin
+          let trace = Vec.create () in
+          Array.iter (fun d -> Vec.push trace (copy_decision d)) item.prefix;
+          let r =
+            Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ~want_split
+              ~on_split:give ~trace ~frozen:item.frozen main
+          in
+          finish item.key (Some r)
+        end;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  let final_check = match check with Some f -> f () | None -> Explorer.no_check_counters in
+  let ordered =
+    List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !results |> List.map snd
+  in
+  merge ~t0 ~stopped:(Atomic.get halted) ~check:final_check ordered
+
+let explore ?(config = Explorer.default_config) ?on_feasible ?check ?(jobs = 1) ?split_depth
+    ?(strategy = `Steal) main =
+  if jobs <= 1 then Explorer.explore ~config ?on_feasible ?check main
+  else
+    match strategy with
+    | `Static -> explore_static ~config ?on_feasible ?check ~jobs ~split_depth main
+    | `Steal -> explore_steal ~config ?on_feasible ?check ~jobs main

@@ -1,31 +1,49 @@
 (** Parallel state-space exploration across OCaml 5 domains.
 
-    The decision tree is partitioned by enumerating every realizable
-    decision prefix up to a split depth (one scheduler run per prefix,
-    reusing the replay machinery); each prefix pins a disjoint subtree,
-    and a pool of [jobs] domains drains the subtree queue with the
-    serial {!Explorer} DFS, each domain on its own deep-copied trace.
+    Two partitioning strategies:
 
-    Determinism contract: for exhaustive runs ([max_executions = None]),
-    [explore ~jobs:n] reports exactly the serial explorer's [stats]
-    (modulo [time]), the same deduplicated bug list in the same order,
-    and the same first buggy trace — per-subtree results are merged in
-    prefix (DFS) order, never completion order. With a [max_executions]
-    cap the global cut point depends on domain interleaving, so
-    truncated parallel runs may differ from truncated serial runs. *)
+    - [`Steal] (the default): the whole tree starts as one work item on a
+      shared queue; whenever a domain is starving, a busy domain donates
+      the shallowest unexplored sibling branches of its current DFS path
+      as a new item and freezes that level, so donated subtrees are
+      always DFS-after everything the donor keeps. The split adapts to
+      the actual tree shape — skewed trees that defeat a static prefix
+      split stay balanced.
+    - [`Static]: enumerate every realizable decision prefix up to a split
+      depth (one scheduler run per prefix, reusing the replay machinery)
+      and drain the fixed subtree list from a pool. Kept as the baseline
+      the work-stealing benchmarks compare against.
+
+    Determinism contract: for exhaustive runs ([max_executions = None])
+    with pruning off, [explore ~jobs:n] reports exactly the serial
+    explorer's [stats] (modulo [time]) under either strategy — work
+    items partition the decision tree, and every run's outcome is a
+    function of its decision path alone. With [config.prune] on, each
+    work item keeps its own visited-state table, so [explored] and
+    [pruned_equiv] depend on where the tree was split; the *semantic*
+    outputs are still deterministic and identical to the serial pruned
+    run: the distinct-graph set ([graphs] / [distinct_graphs]), the
+    deduplicated bug list in the same order, the first buggy trace, and
+    hence all checker verdicts. Both guarantees rest on merging
+    per-subtree results in canonical prefix (DFS) order — work-item keys
+    are chosen-index paths, and their lexicographic order is DFS order —
+    never completion order. With a [max_executions] cap the global cut
+    point depends on domain interleaving, so truncated parallel runs may
+    differ from truncated serial runs. *)
 
 (** [prefixes ~config ~depth main] enumerates every realizable decision
     prefix of length <= [depth] in DFS order. The subtrees the prefixes
     pin are pairwise disjoint and cover the whole tree. Exposed for the
-    coverage tests and the split-depth heuristic. *)
+    coverage tests and the static split-depth heuristic. *)
 val prefixes :
   config:Scheduler.config -> depth:int -> (unit -> unit) -> Scheduler.decision array list
 
-(** [explore ?jobs ?split_depth main] explores like {!Explorer.explore}.
-    [jobs <= 1] (the default) is exactly the serial explorer.
-    [split_depth] defaults to a heuristic that deepens until there are
-    at least [4 * jobs] subtrees (or the prefix count plateaus), so the
-    queue stays long enough to balance uneven subtree sizes.
+(** [explore ?jobs ?split_depth ?strategy main] explores like
+    {!Explorer.explore}. [jobs <= 1] (the default) is exactly the serial
+    explorer. [split_depth] only affects [`Static]; it defaults to a
+    heuristic that deepens until there are at least [4 * jobs] subtrees
+    (or the prefix count plateaus), so the queue stays long enough to
+    balance uneven subtree sizes.
 
     [check] is snapshotted exactly once, after every domain has joined,
     and lands in the merged [stats.check]: the checking hook's counters
@@ -37,5 +55,6 @@ val explore :
   ?check:(unit -> Explorer.check_counters) ->
   ?jobs:int ->
   ?split_depth:int ->
+  ?strategy:[ `Static | `Steal ] ->
   (unit -> unit) ->
   Explorer.result

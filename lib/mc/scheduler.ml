@@ -1,7 +1,22 @@
 module Execution = C11.Execution
 module Vec = C11.Vec
 
-type sched_decision = { mutable sched_chosen : int; candidates : int array }
+(* The canonical state key of a (fresh, scheduling) decision point: the
+   execution-graph fingerprint plus the sleeping-thread set. Two decision
+   points with equal keys have byte-identical subtrees — the graph
+   determines every thread's continuation (thread code is deterministic
+   in the values its operations returned, all of which the fingerprint
+   digests), and the sleep set determines which schedules the DFS will
+   bother exploring from here. The explorer prunes a fresh decision
+   point whose key matches an already fully-explored one. *)
+type prune_key = { fp : int64; sleeping : int list; nacts : int }
+
+type sched_decision = {
+  mutable sched_chosen : int;
+  candidates : int array;
+  state : prune_key option;  (* key at creation; None under replay-only construction *)
+}
+
 type choice_decision = { mutable choice_chosen : int; num : int }
 
 type decision =
@@ -36,6 +51,7 @@ type outcome =
   | Pruned_loop_bound of { tid : int; loc : int }
   | Pruned_max_actions
   | Pruned_sleep_set
+  | Pruned_equiv
 
 type run_result = {
   exec : Execution.t;
@@ -64,6 +80,7 @@ type state = {
   mutable nthreads : int;
   trace : decision Vec.t;
   pick : (decision -> int) option;  (* initial choice at *fresh* decision points *)
+  prune : (prune_key -> bool) option;  (* equivalence pruning at fresh sched points *)
   mutable cursor : int;
   annots : annot Vec.t;
   mutable bugs : Bug.t list;  (* reverse commit order *)
@@ -134,8 +151,10 @@ let choose st num =
   end
 
 (* Scheduling decision over candidate tids; returns (chosen tid, sleep
-   contribution of already-explored siblings). *)
-let choose_sched st candidates =
+   contribution of already-explored siblings). [sleeping] is the current
+   (sorted) sleep set — together with the graph fingerprint it keys the
+   state for equivalence pruning at *fresh* decision points. *)
+let choose_sched st sleeping candidates =
   if Array.length candidates = 1 then (candidates.(0), [])
   else begin
     let d =
@@ -147,7 +166,21 @@ let choose_sched st candidates =
         | Choice _ -> assert false
       end
       else begin
-        let d = { sched_chosen = 0; candidates } in
+        let state =
+          match st.prune with
+          | None -> None
+          | Some seen ->
+            let key =
+              {
+                fp = Execution.fingerprint st.exec;
+                sleeping;
+                nacts = Execution.num_actions st.exec;
+              }
+            in
+            if seen key then raise (Prune Pruned_equiv);
+            Some key
+        in
+        let d = { sched_chosen = 0; candidates; state } in
         d.sched_chosen <- initial_choice st (Sched d);
         Vec.push st.trace (Sched d);
         d
@@ -445,7 +478,7 @@ let keep_asleep st footprints tid =
     List.for_all (fun g -> not (dependent g f)) footprints
   | Not_started _ | Finished -> false
 
-let run ?pick ~config ~trace main =
+let run ?pick ?prune ~config ~trace main =
   let st =
     {
       config;
@@ -454,6 +487,7 @@ let run ?pick ~config ~trace main =
       nthreads = 0;
       trace;
       pick;
+      prune;
       cursor = 0;
       annots = Vec.create ();
       bugs = [];
@@ -480,7 +514,7 @@ let run ?pick ~config ~trace main =
             let avail = List.filter (fun t -> not (List.mem t sleep)) enabled in
             if avail = [] then raise (Prune Pruned_sleep_set)
             else begin
-              let tid, slept_siblings = choose_sched st (Array.of_list avail) in
+              let tid, slept_siblings = choose_sched st sleep (Array.of_list avail) in
               let footprints = step st tid in
               let sleep =
                 if not config.sleep_sets then []

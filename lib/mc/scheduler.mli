@@ -11,12 +11,29 @@
     for a pending read, so it must wake sleeping readers), or when either
     is a fence (fences read global state — the SC order). *)
 
+(** Canonical state key of a scheduling decision point: the
+    execution-graph fingerprint ({!C11.Execution.fingerprint}), the
+    sorted sleep set, and the committed action count (a cheap extra
+    collision guard). Two decision points with equal keys generate
+    byte-identical subtrees: the graph determines every thread's
+    continuation, and the sleep set determines which schedules the DFS
+    explores from there. The explorer's equivalence pruning cuts a fresh
+    decision point whose key matches an already fully-explored one. *)
+type prune_key = { fp : int64; sleeping : int list; nacts : int }
+
 (** One decision point. [Sched] carries the schedulable (enabled and not
     sleeping) thread ids at that point; [Choice] is a reads-from or CAS
     branch. The explorer mutates [chosen] when backtracking; explored
     siblings of a [Sched] node ([candidates.(0 .. chosen-1)]) are its
-    sleep-set contribution. *)
-type sched_decision = { mutable sched_chosen : int; candidates : int array }
+    sleep-set contribution. [state] is the decision's {!prune_key},
+    recorded at creation when pruning is on — the explorer marks it
+    fully explored when backtracking pops the record. *)
+type sched_decision = {
+  mutable sched_chosen : int;
+  candidates : int array;
+  state : prune_key option;
+}
+
 type choice_decision = { mutable choice_chosen : int; num : int }
 
 type decision =
@@ -52,6 +69,10 @@ type outcome =
   | Pruned_loop_bound of { tid : int; loc : int }
   | Pruned_max_actions
   | Pruned_sleep_set  (** redundant interleaving cut by the sleep set *)
+  | Pruned_equiv
+      (** subtree cut by equivalence pruning: its state key matched an
+          already fully-explored decision point, so every execution graph
+          below it has been visited *)
 
 type run_result = {
   exec : C11.Execution.t;
@@ -70,9 +91,19 @@ type run_result = {
     convention. Sampled indices carry no "explored siblings" meaning, so
     runs with [pick] contribute nothing to sleep sets; the fuzzer
     disables sleep sets entirely (they would mis-prune under random
-    choice). *)
+    choice).
+
+    [prune], when given, is consulted at every *fresh* non-trivial
+    scheduling decision point with the point's {!prune_key}; returning
+    [true] aborts the run with outcome {!Pruned_equiv} (the caller has
+    already fully explored an identical state, so the subtree can only
+    repeat known graphs). When it returns [false] the key is recorded in
+    the decision's [state] field so the caller can close it on
+    backtrack. Only the DFS explorer passes this; it is meaningless
+    under [pick]. *)
 val run :
   ?pick:(decision -> int) ->
+  ?prune:(prune_key -> bool) ->
   config:config ->
   trace:decision C11.Vec.t ->
   (unit -> unit) ->

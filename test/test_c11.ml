@@ -92,6 +92,37 @@ let test_clock_basics () =
   Alcotest.(check bool) "set is monotone" true
     (Clock.get (Clock.set c 2 3) 2 = 5) (* no downgrade *)
 
+(* Edge cases the explorer leans on: the empty clock, queries about
+   threads a clock has never seen, and growth past the backing array. *)
+let test_clock_edges () =
+  (* the empty clock trivially covers step 0 of any thread (nothing
+     happened yet), and nothing beyond *)
+  Alcotest.(check bool) "empty covers step 0" true (Clock.covers Clock.empty ~tid:7 ~seq:0);
+  Alcotest.(check bool) "empty covers no real step" false
+    (Clock.covers Clock.empty ~tid:0 ~seq:1);
+  Alcotest.(check int) "empty get" 0 (Clock.get Clock.empty 99);
+  (* queries about never-seen tids: beyond the backing array *)
+  let c = Clock.singleton ~tid:2 ~seq:5 in
+  Alcotest.(check bool) "never-seen tid not covered" false (Clock.covers c ~tid:50 ~seq:1);
+  Alcotest.(check bool) "never-seen tid step 0 covered" true (Clock.covers c ~tid:50 ~seq:0);
+  Alcotest.(check int) "never-seen tid get" 0 (Clock.get c 50);
+  (* growth: set on a tid far past the current capacity keeps old entries *)
+  let big = Clock.set c 40 3 in
+  Alcotest.(check int) "grown entry" 3 (Clock.get big 40);
+  Alcotest.(check int) "old entry preserved" 5 (Clock.get big 2);
+  Alcotest.(check bool) "growth is monotone" true (Clock.leq c big);
+  (* joins across different lengths, both orientations *)
+  let j1 = Clock.join c big and j2 = Clock.join big c in
+  Alcotest.(check bool) "join of prefix is the larger" true
+    (Clock.equal j1 big && Clock.equal j2 big);
+  Alcotest.(check bool) "join with empty is identity" true
+    (Clock.equal (Clock.join Clock.empty big) big
+    && Clock.equal (Clock.join big Clock.empty) big);
+  (* leq treats missing trailing entries as zero in both directions *)
+  Alcotest.(check bool) "shorter leq longer" true (Clock.leq c big);
+  Alcotest.(check bool) "longer not leq shorter" false (Clock.leq big c);
+  Alcotest.(check bool) "empty leq anything" true (Clock.leq Clock.empty c)
+
 (* -------------------------- relations ---------------------------- *)
 
 let diamond () =
@@ -227,6 +258,26 @@ let test_vec () =
   Alcotest.(check (list int)) "to_list prefix" [ 0; 1; 2 ]
     (List.filteri (fun i _ -> i < 3) (Vec.to_list v))
 
+(* Growth past the initial 8-slot capacity across several doublings,
+   and reuse after truncating back to empty. *)
+let test_vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length after growth" 1000 (Vec.length v);
+  let ok = ref true in
+  Vec.iteri (fun i x -> if i <> x then ok := false) v;
+  Alcotest.(check bool) "contents survive doubling" true !ok;
+  Vec.truncate v 0;
+  Alcotest.(check bool) "empty after full truncate" true (Vec.is_empty v);
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Vec.pop v));
+  Alcotest.check_raises "last on empty" (Invalid_argument "Vec.last") (fun () ->
+      ignore (Vec.last v));
+  Vec.push v 7;
+  Alcotest.(check int) "reusable after truncate" 7 (Vec.last v)
+
 let test_vec_fold_right_while () =
   let v = Vec.create () in
   List.iter (Vec.push v) [ 1; 2; 3; 4; 5 ];
@@ -251,6 +302,7 @@ let () =
       ( "clock",
         [
           Alcotest.test_case "basics" `Quick test_clock_basics;
+          Alcotest.test_case "edges" `Quick test_clock_edges;
           qt prop_join_upper_bound;
           qt prop_join_commutative;
           qt prop_join_idempotent;
@@ -272,6 +324,7 @@ let () =
       ( "vec",
         [
           Alcotest.test_case "basics" `Quick test_vec;
+          Alcotest.test_case "growth" `Quick test_vec_growth;
           Alcotest.test_case "fold_right_while" `Quick test_vec_fold_right_while;
         ] );
     ]

@@ -140,6 +140,68 @@ let test_hb_or_sc () =
   Alcotest.(check bool) "but sc-ordered" true (E.hb_or_sc x w1.id w2.id);
   Alcotest.(check bool) "not symmetric" false (E.hb_or_sc x w2.id w1.id)
 
+(* ------------------ incremental rf-kernel differential ------------------ *)
+
+(* The incremental coherence indices behind [read_candidates] must agree
+   with the specification-style rescan [read_candidates_ref] at every
+   point of randomized commit sequences mixing stores, loads and RMWs
+   across threads, locations and memory orders. Seeded, so failures
+   replay. *)
+let test_rf_kernel_differential () =
+  let rng = Random.State.make [| 0xC11; 5 |] in
+  let sorted_ids l = List.sort Stdlib.compare (ids l) in
+  let store_mos = [| Relaxed; Release; Seq_cst |] in
+  let load_mos = [| Relaxed; Acquire; Seq_cst |] in
+  let rmw_mos = [| Relaxed; Acquire; Release; Acq_rel; Seq_cst |] in
+  for round = 1 to 50 do
+    let x = E.create () in
+    let nthreads = 1 + Random.State.int rng 3 in
+    for child = 1 to nthreads - 1 do
+      ignore (E.commit_create x ~tid:0 ~child);
+      ignore (E.commit_start x ~tid:child)
+    done;
+    let locs =
+      Array.init
+        (1 + Random.State.int rng 2)
+        (fun _ -> E.alloc x ~tid:0 ~count:1 ~init:(Some 0))
+    in
+    let value = ref 1 in
+    for step = 1 to 12 + Random.State.int rng 10 do
+      (* differential: the kernel and the oracle agree for every
+         (tid, mo, loc) before each commit mutates the indices *)
+      for tid = 0 to nthreads - 1 do
+        Array.iter
+          (fun mo ->
+            Array.iter
+              (fun loc ->
+                Alcotest.(check (list int))
+                  (Printf.sprintf "round %d step %d: kernel = oracle" round step)
+                  (sorted_ids (E.read_candidates_ref x ~tid ~mo ~loc))
+                  (sorted_ids (E.read_candidates x ~tid ~mo ~loc)))
+              locs)
+          load_mos
+      done;
+      let tid = Random.State.int rng nthreads in
+      let loc = locs.(Random.State.int rng (Array.length locs)) in
+      match Random.State.int rng 3 with
+      | 0 ->
+        let mo = store_mos.(Random.State.int rng (Array.length store_mos)) in
+        ignore (E.commit_store x ~tid ~mo ~loc ~value:!value ());
+        incr value
+      | 1 -> (
+        let mo = load_mos.(Random.State.int rng (Array.length load_mos)) in
+        match E.read_candidates x ~tid ~mo ~loc with
+        | [] -> ()
+        | cs ->
+          let w = List.nth cs (Random.State.int rng (List.length cs)) in
+          ignore (E.commit_load x ~tid ~mo ~loc ~rf:(Some w) ()))
+      | _ ->
+        let mo = rmw_mos.(Random.State.int rng (Array.length rmw_mos)) in
+        ignore (E.commit_rmw x ~tid ~mo ~loc ~value:!value ());
+        incr value
+    done
+  done
+
 let test_dot_renders () =
   let x = E.create () in
   let loc = E.alloc x ~tid:0 ~count:1 ~init:(Some 0) in
@@ -155,7 +217,6 @@ let test_dot_renders () =
   Alcotest.(check bool) "has rf edge" true (contains dot "rf")
 
 let () =
-  ignore ids;
   Alcotest.run "execution"
     [
       ( "graph",
@@ -171,6 +232,7 @@ let () =
           Alcotest.test_case "rmw reads latest" `Quick test_rmw_reads_latest;
           Alcotest.test_case "release sequence clock" `Quick test_release_sequence_clock;
           Alcotest.test_case "hb or sc" `Quick test_hb_or_sc;
+          Alcotest.test_case "rf kernel differential" `Quick test_rf_kernel_differential;
           Alcotest.test_case "dot renders" `Quick test_dot_renders;
         ] );
     ]

@@ -180,13 +180,14 @@ let test_replay_tolerates_garbage () =
   match run_r.outcome with
   | Mc.Scheduler.Complete | Pruned_loop_bound _ | Pruned_max_actions -> ()
   | Pruned_sleep_set -> Alcotest.fail "sleep sets must be off under replay"
+  | Pruned_equiv -> Alcotest.fail "equivalence pruning must be off under replay"
 
 (* ------------------------ fingerprints ---------------------------- *)
 
 let test_fingerprint_coverage_bounds () =
-  (* coverage counts distinct behaviours: positive, and bounded by the
-     exhaustive (no-sleep-set) feasible count, since every fuzzed
-     complete execution is one of the enumerable ones *)
+  (* coverage counts distinct execution graphs (the canonical
+     fingerprint the explorer's equivalence pruning uses): positive, a
+     subset of the exhaustive graph set, and bounded by its size *)
   let exhaustive =
     E.explore
       ~config:
@@ -199,12 +200,15 @@ let test_fingerprint_coverage_bounds () =
   let r = F.run ~config:{ F.default_config with max_executions = Some 2000 } ~seed:5 sb_program in
   Alcotest.(check bool) "coverage positive" true (r.stats.coverage > 0);
   Alcotest.(check bool)
-    "coverage bounded by exhaustive feasible" true
-    (r.stats.coverage <= exhaustive.stats.feasible);
+    "coverage bounded by exhaustive distinct graphs" true
+    (r.stats.coverage <= exhaustive.stats.distinct_graphs);
+  Alcotest.(check bool)
+    "fuzzed graphs are a subset of the exhaustive graph set" true
+    (List.for_all (fun fp -> List.mem fp exhaustive.graphs) r.graphs);
   (* the tiny SB tree should be near-saturated by 2000 runs *)
   Alcotest.(check bool)
     "most behaviours covered" true
-    (r.stats.coverage * 2 >= exhaustive.stats.feasible)
+    (r.stats.coverage * 2 >= exhaustive.stats.distinct_graphs)
 
 (* ------------------------ minimization ---------------------------- *)
 
@@ -241,6 +245,9 @@ let test_explorer_result_shim () =
   Alcotest.(check int) "feasible" r.stats.feasible er.stats.feasible;
   Alcotest.(check int) "buggy" r.stats.buggy er.stats.buggy;
   Alcotest.(check int) "no sleep-set prunes" 0 er.stats.pruned_sleep_set;
+  Alcotest.(check int) "no equivalence prunes" 0 er.stats.pruned_equiv;
+  Alcotest.(check int) "distinct graphs = coverage" r.stats.coverage er.stats.distinct_graphs;
+  Alcotest.(check bool) "graph set carried over" true (r.graphs = er.graphs);
   Alcotest.(check (list string))
     "bug list carried over"
     (List.map (fun (f : F.found) -> Mc.Bug.key f.bug) r.found)

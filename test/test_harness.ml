@@ -6,7 +6,13 @@ module X = Harness.Experiments
 module B = Structures.Benchmark
 
 let cheap_limits =
-  { X.max_executions = 20_000; checker = Cdsspec.Checker.default_config; jobs = 1; check_cache = true }
+  {
+    X.max_executions = 20_000;
+    checker = Cdsspec.Checker.default_config;
+    jobs = 1;
+    check_cache = true;
+    prune = true;
+  }
 
 (* ------------------------------ Ords ----------------------------- *)
 

@@ -494,7 +494,7 @@ let test_exploration_counts () =
   Alcotest.(check bool) "explored some" true (r.stats.explored >= 2);
   Alcotest.(check int) "explored = feasible + pruned" r.stats.explored
     (r.stats.feasible + r.stats.pruned_loop_bound + r.stats.pruned_max_actions
-   + r.stats.pruned_sleep_set);
+   + r.stats.pruned_sleep_set + r.stats.pruned_equiv);
   Alcotest.(check bool) "no bugs" true (r.bugs = [])
 
 (* Loop bounding: an unbounded spin against a flag that is eventually set

@@ -1,8 +1,12 @@
-(* The parallel explorer's determinism contract: for exhaustive runs,
-   [Parallel.explore ~jobs:n] must report exactly the serial explorer's
-   stats, bug list (same keys, same order) and first buggy trace — and
-   the prefix partition it parallelizes over must cover the decision
-   tree with no duplicates. *)
+(* The parallel explorer's determinism contract: for exhaustive runs
+   with pruning off, [Parallel.explore ~jobs:n] must report exactly the
+   serial explorer's stats, bug list (same keys, same order) and first
+   buggy trace under both partitioning strategies — and the prefix
+   partition the static strategy parallelizes over must cover the
+   decision tree with no duplicates. With pruning on, the run-count
+   stats are split-dependent by design, but the semantic outputs
+   (distinct-graph set, bug list, first buggy trace) must still match
+   the serial pruned run. *)
 
 module P = Mc.Program
 module E = Mc.Explorer
@@ -15,20 +19,23 @@ let bench name =
   | Some b -> b
   | None -> Alcotest.fail ("unknown benchmark " ^ name)
 
-let explore_bench ~jobs (b : Structures.Benchmark.t) ords (t : Structures.Benchmark.test) =
-  Par.explore ~jobs
-    ~config:{ E.default_config with scheduler = b.scheduler }
+let explore_bench ?(prune = false) ?strategy ~jobs (b : Structures.Benchmark.t) ords
+    (t : Structures.Benchmark.test) =
+  Par.explore ~jobs ?strategy
+    ~config:{ E.default_config with scheduler = b.scheduler; prune }
     ~on_feasible:(Cdsspec.Checker.hook b.spec)
     (t.program ords)
 
 (* ------------------------ determinism ----------------------------- *)
 
-let check_deterministic ?ords name =
+(* Pruning off: runs partition exactly across work items, so every
+   counter must match the serial explorer under either strategy. *)
+let check_deterministic ?ords ?strategy name =
   let b = bench name in
   let t = List.hd b.tests in
   let ords = match ords with Some o -> o | None -> Structures.Ords.default b.sites in
   let s = explore_bench ~jobs:1 b ords t in
-  let p = explore_bench ~jobs:4 b ords t in
+  let p = explore_bench ?strategy ~jobs:4 b ords t in
   Alcotest.(check int) (name ^ ": explored") s.stats.explored p.stats.explored;
   Alcotest.(check int) (name ^ ": feasible") s.stats.feasible p.stats.feasible;
   Alcotest.(check int) (name ^ ": buggy") s.stats.buggy p.stats.buggy;
@@ -38,7 +45,9 @@ let check_deterministic ?ords name =
   Alcotest.(check int)
     (name ^ ": pruned (sleep set)")
     s.stats.pruned_sleep_set p.stats.pruned_sleep_set;
+  Alcotest.(check int) (name ^ ": distinct graphs") s.stats.distinct_graphs p.stats.distinct_graphs;
   Alcotest.(check bool) (name ^ ": truncated") s.stats.truncated p.stats.truncated;
+  Alcotest.(check bool) (name ^ ": graph sets") true (s.graphs = p.graphs);
   Alcotest.(check (list string))
     (name ^ ": bug keys")
     (List.map Mc.Bug.key s.bugs) (List.map Mc.Bug.key p.bugs);
@@ -50,11 +59,41 @@ let test_registry_determinism () =
   List.iter check_deterministic
     [ "Treiber Stack"; "SPSC Queue"; "Ticket Lock"; "Seqlock"; "M&S Queue" ]
 
+let test_registry_determinism_static () =
+  List.iter
+    (check_deterministic ~strategy:`Static)
+    [ "Treiber Stack"; "Ticket Lock"; "Seqlock" ]
+
+(* Pruning on: semantic outputs only — graph set, bug keys in order,
+   first buggy trace. Run counts are split-dependent (each work item has
+   its own visited table), so they are deliberately not compared. *)
+let check_pruned_deterministic ?ords name =
+  let b = bench name in
+  let t = List.hd b.tests in
+  let ords = match ords with Some o -> o | None -> Structures.Ords.default b.sites in
+  let s = explore_bench ~prune:true ~jobs:1 b ords t in
+  let p = explore_bench ~prune:true ~jobs:4 b ords t in
+  Alcotest.(check bool) (name ^ ": pruned graph sets") true (s.graphs = p.graphs);
+  Alcotest.(check int)
+    (name ^ ": pruned distinct graphs")
+    s.stats.distinct_graphs p.stats.distinct_graphs;
+  Alcotest.(check (list string))
+    (name ^ ": pruned bug keys")
+    (List.map Mc.Bug.key s.bugs) (List.map Mc.Bug.key p.bugs);
+  Alcotest.(check (option string))
+    (name ^ ": pruned first buggy trace")
+    s.first_buggy_trace p.first_buggy_trace
+
+let test_pruned_determinism () =
+  List.iter check_pruned_deterministic [ "Treiber Stack"; "Seqlock"; "M&S Queue" ];
+  check_pruned_deterministic ~ords:(snd (List.hd Structures.Ms_queue.known_bugs)) "M&S Queue"
+
 (* A buggy configuration: parallel runs must find the same deduplicated
    bug set and elect the same first buggy trace as the serial DFS. *)
 let test_buggy_determinism () =
   let ords = snd (List.hd Structures.Ms_queue.known_bugs) in
   check_deterministic ~ords "M&S Queue";
+  check_deterministic ~ords ~strategy:`Static "M&S Queue";
   let b = bench "M&S Queue" in
   let t = List.hd b.Structures.Benchmark.tests in
   let r = explore_bench ~jobs:4 b ords t in
@@ -68,7 +107,8 @@ let test_jobs_invariance () =
   let r2 = explore_bench ~jobs:2 b ords t in
   let r3 = explore_bench ~jobs:3 b ords t in
   Alcotest.(check int) "explored 2 = 3 jobs" r2.stats.explored r3.stats.explored;
-  Alcotest.(check int) "feasible 2 = 3 jobs" r2.stats.feasible r3.stats.feasible
+  Alcotest.(check int) "feasible 2 = 3 jobs" r2.stats.feasible r3.stats.feasible;
+  Alcotest.(check bool) "graphs 2 = 3 jobs" true (r2.graphs = r3.graphs)
 
 (* Truncation under a global cap: not deterministic, but the cap must
    engage and the run must be flagged. *)
@@ -78,7 +118,13 @@ let test_truncation () =
   let ords = Structures.Ords.default b.Structures.Benchmark.sites in
   let r =
     Par.explore ~jobs:4
-      ~config:{ E.default_config with scheduler = b.scheduler; max_executions = Some 10 }
+      ~config:
+        {
+          E.default_config with
+          scheduler = b.scheduler;
+          max_executions = Some 10;
+          prune = false;
+        }
       ~on_feasible:(Cdsspec.Checker.hook b.spec)
       (t.program ords)
   in
@@ -111,7 +157,10 @@ let prefix_key p =
     (Array.map (fun d -> (Mc.Scheduler.decision_arity d, Mc.Scheduler.decision_chosen d)) p)
 
 let test_prefix_cover () =
-  let config = E.default_config in
+  (* Pruning off: each subtree has its own visited table, so pruned runs
+     would not sum across a partition — exact-coverage sums require the
+     unpruned explorer. *)
+  let config = { E.default_config with prune = false } in
   let serial = E.explore ~config sb_program in
   Alcotest.(check bool) "tree is nontrivial" true (serial.stats.explored > 10);
   List.iter
@@ -147,7 +196,8 @@ let test_prefix_cover () =
 (* backtrack ~frozen flips only decisions beyond the frozen prefix. *)
 let test_backtrack_frozen () =
   let trace : Mc.Scheduler.decision Vec.t = Vec.create () in
-  Vec.push trace (Mc.Scheduler.Sched { sched_chosen = 0; candidates = [| 0; 1 |] });
+  Vec.push trace
+    (Mc.Scheduler.Sched { sched_chosen = 0; candidates = [| 0; 1 |]; state = None });
   Vec.push trace (Mc.Scheduler.Choice { choice_chosen = 0; num = 2 });
   (* frozen=1: the Choice flips, then exhausts; the Sched never flips *)
   Alcotest.(check bool) "first flip" true (E.backtrack ~frozen:1 trace);
@@ -163,7 +213,10 @@ let () =
     [
       ( "determinism",
         [
-          Alcotest.test_case "registry benchmarks" `Quick test_registry_determinism;
+          Alcotest.test_case "registry benchmarks (steal)" `Quick test_registry_determinism;
+          Alcotest.test_case "registry benchmarks (static)" `Quick
+            test_registry_determinism_static;
+          Alcotest.test_case "pruned semantic determinism" `Quick test_pruned_determinism;
           Alcotest.test_case "buggy configuration" `Quick test_buggy_determinism;
           Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
           Alcotest.test_case "truncation" `Quick test_truncation;
