@@ -11,6 +11,10 @@
      bench/main.exe timing     wall-clock timing per Figure-7 row; writes BENCH_PR1.json
      bench/main.exe fuzz       randomized vs exhaustive exploration; writes BENCH_PR2.json
      bench/main.exe lint       memory-order lint + weakening advisor; writes BENCH_PR3.json
+     bench/main.exe check-cache  cross-execution check cache; writes BENCH_PR4.json
+     bench/main.exe explore    equivalence pruning + work stealing; writes BENCH_PR5.json
+     bench/main.exe replay     arena engine vs legacy re-execution; writes BENCH_PR6.json
+                               (--smoke: capped CI subset; hard-fails on any divergence)
 
    `--jobs N` (or CDSSPEC_JOBS=N) runs every exploration on N domains;
    0 means one per recommended core. The timing job records the jobs
@@ -879,15 +883,15 @@ let scaling_one ~max_execs ~jobs_list (b : B.t) test_name =
       })
     jobs_list
 
-let write_explore_json pruning scaling =
+let write_explore_json ~skipped_single_core pruning scaling =
   let path =
     match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> explore_json_file
   in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  %s,\n  \"pr\": 5,\n  \"smoke\": %b,\n  \"median_interleaving_reduction\": %.2f,\n  \
-     \"median_speedup\": %.2f,\n  \"pruning\": [\n"
-    (metadata_json ()) !smoke
+    "{\n  %s,\n  \"pr\": 5,\n  \"smoke\": %b,\n  \"skipped_single_core\": %b,\n  \
+     \"median_interleaving_reduction\": %.2f,\n  \"median_speedup\": %.2f,\n  \"pruning\": [\n"
+    (metadata_json ()) !smoke skipped_single_core
     (median (List.map (fun r -> r.pe_reduction) pruning))
     (median (List.map (fun r -> r.pe_speedup) pruning));
   List.iteri
@@ -948,28 +952,190 @@ let run_explore () =
       ]
   in
   (* no silent misreadings: on a single-core host the parallel rows
-     timeshare one CPU, so wall times measure strategy overhead, not
-     parallel speedup — say so rather than let the numbers imply a
-     regression *)
-  if Domain.recommended_domain_count () < 2 then
-    Format.printf
-      "@.note: single-core host — scaling rows measure split-strategy overhead@.      \
-       (domains timeshare one CPU; speedups > 1x are unreachable here)@.";
-  Format.printf "@.%-34s %5s %10s %10s %10s@." "Scaling workload" "jobs" "serial" "static"
-    "steal";
+     timeshare one CPU, so wall times would measure strategy overhead,
+     not parallel speedup — skip them and say so in the JSON rather than
+     emit numbers that read as a regression *)
+  let skipped_single_core = Domain.recommended_domain_count () < 2 in
   let scaling =
-    List.concat_map
-      (fun (b, test_name, jobs_list) ->
-        let rows = scaling_one ~max_execs ~jobs_list b test_name in
-        List.iter
-          (fun r ->
-            Format.printf "%-34s %5d %9.3fs %9.3fs %9.3fs@." r.sc_workload r.sc_jobs
-              r.sc_serial_wall_s r.sc_static_wall_s r.sc_steal_wall_s)
-          rows;
-        rows)
-      scaling_cases
+    if skipped_single_core then begin
+      Format.printf
+        "@.note: single-core host — scaling rows skipped (domains would timeshare one CPU;@.      \
+         speedups > 1x are unreachable, so the numbers would only mislead)@.";
+      []
+    end
+    else begin
+      Format.printf "@.%-34s %5s %10s %10s %10s@." "Scaling workload" "jobs" "serial" "static"
+        "steal";
+      List.concat_map
+        (fun (b, test_name, jobs_list) ->
+          let rows = scaling_one ~max_execs ~jobs_list b test_name in
+          List.iter
+            (fun r ->
+              Format.printf "%-34s %5d %9.3fs %9.3fs %9.3fs@." r.sc_workload r.sc_jobs
+                r.sc_serial_wall_s r.sc_static_wall_s r.sc_steal_wall_s)
+            rows;
+          rows)
+        scaling_cases
+    end
   in
-  write_explore_json pruning scaling
+  write_explore_json ~skipped_single_core pruning scaling
+
+(* ------------------------------------------------------------------ *)
+(* Replay: the PR-6 arena-engine benchmark. Every exhaustive registry
+   structure (first unit test, serial, pruning off — the regime where
+   the engine's per-execution cost dominates) is explored under both
+   engines. The arena run must be observably identical to the legacy
+   run — stats, distinct-graph set, bug list, first buggy trace — and
+   any divergence is a hard failure, so the `--smoke` run doubles as
+   CI's engine-soundness gate. Timings are best-of-N (the engines are
+   deterministic; the host is not), emitted as BENCH_PR6.json together
+   with snapshot/restore counts, allocation per execution, and the
+   speedup against the two PR-5 trajectory rows.                       *)
+
+let replay_json_file = "BENCH_PR6.json"
+let replay_reps = 3
+
+(* The PR-5 baseline this PR's target is defined against: unpruned
+   serial wall times of the committed BENCH_PR5.json pruning rows. *)
+let pr5_baseline_eps =
+  [ ("MCS Lock/two-threads", 41624. /. 1.9868); ("Chase-Lev Deque/small", 7530. /. 0.3747) ]
+
+type rp_row = {
+  rp_workload : string;
+  rp_explored : int;
+  rp_arena_wall_s : float;
+  rp_legacy_wall_s : float;
+  rp_snapshots : int;
+  rp_restores : int;
+  rp_arena_words_per_exec : float;
+  rp_legacy_words_per_exec : float;
+}
+
+let rp_eps explored wall = if wall > 0. then float_of_int explored /. wall else 0.
+
+let replay_one ~max_execs (b : B.t) =
+  let t = List.hd b.tests in
+  let ords = Structures.Ords.default b.sites in
+  let run engine =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      E.explore
+        ~config:
+          {
+            E.default_config with
+            scheduler = b.scheduler;
+            max_executions = max_execs;
+            prune = false;
+            engine;
+          }
+        ~on_feasible:(Cdsspec.Checker.hook b.spec)
+        (t.program ords)
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let best engine =
+    let runs = List.init replay_reps (fun _ -> run engine) in
+    let wall = List.fold_left (fun acc (w, _) -> Float.min acc w) Float.infinity runs in
+    (wall, snd (List.hd runs))
+  in
+  let arena_wall, a = best `Arena in
+  let legacy_wall, l = best `Legacy in
+  let key (r : E.result) =
+    let s = r.stats in
+    ( ( s.explored,
+        s.feasible,
+        s.pruned_loop_bound,
+        s.pruned_max_actions,
+        s.pruned_sleep_set,
+        s.pruned_equiv ),
+      (s.distinct_graphs, s.buggy, s.truncated),
+      r.graphs,
+      List.map Mc.Bug.key r.bugs,
+      r.first_buggy_trace )
+  in
+  if key a <> key l then
+    failwith ("replay-bench: arena and legacy engines diverge on " ^ b.name ^ "/" ^ t.test_name);
+  let per_exec w (r : E.result) = if r.stats.explored > 0 then w /. float_of_int r.stats.explored else 0. in
+  {
+    rp_workload = b.name ^ "/" ^ t.test_name;
+    rp_explored = a.stats.explored;
+    rp_arena_wall_s = arena_wall;
+    rp_legacy_wall_s = legacy_wall;
+    rp_snapshots = a.stats.snapshots;
+    rp_restores = a.stats.restores;
+    rp_arena_words_per_exec = per_exec a.stats.minor_words a;
+    rp_legacy_words_per_exec = per_exec l.stats.minor_words l;
+  }
+
+let write_replay_json rows =
+  let path =
+    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> replay_json_file
+  in
+  let oc = open_out path in
+  let speedup r = rp_eps r.rp_explored r.rp_arena_wall_s /. Float.max 1e-9 (rp_eps r.rp_explored r.rp_legacy_wall_s) in
+  Printf.fprintf oc
+    "{\n  %s,\n  \"pr\": 6,\n  \"smoke\": %b,\n  \"best_of\": %d,\n  \"divergences\": 0,\n  \
+     \"median_speedup_vs_legacy\": %.2f,\n  \"pr5_trajectory\": [\n"
+    (metadata_json ()) !smoke replay_reps
+    (median (List.map speedup rows));
+  let traj =
+    List.filter_map
+      (fun (workload, base_eps) ->
+        List.find_opt (fun r -> r.rp_workload = workload) rows
+        |> Option.map (fun r -> (workload, base_eps, r)))
+      pr5_baseline_eps
+  in
+  List.iteri
+    (fun i (workload, base_eps, r) ->
+      let eps = rp_eps r.rp_explored r.rp_arena_wall_s in
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"pr5_execs_per_sec\": %.1f, \"arena_execs_per_sec\": %.1f, \
+         \"speedup_vs_pr5\": %.2f}%s\n"
+        workload base_eps eps
+        (eps /. base_eps)
+        (if i = List.length traj - 1 then "" else ","))
+    traj;
+  Printf.fprintf oc "  ],\n  \"engine\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"explored\": %d, \"arena_wall_s\": %.4f, \"legacy_wall_s\": \
+         %.4f, \"arena_execs_per_sec\": %.1f, \"legacy_execs_per_sec\": %.1f, \"speedup\": %.2f, \
+         \"snapshots\": %d, \"restores\": %d, \"arena_minor_words_per_exec\": %.0f, \
+         \"legacy_minor_words_per_exec\": %.0f, \"identical\": true}%s\n"
+        r.rp_workload r.rp_explored r.rp_arena_wall_s r.rp_legacy_wall_s
+        (rp_eps r.rp_explored r.rp_arena_wall_s)
+        (rp_eps r.rp_explored r.rp_legacy_wall_s)
+        (speedup r) r.rp_snapshots r.rp_restores r.rp_arena_words_per_exec
+        r.rp_legacy_words_per_exec
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s%s@." path (if !smoke then " (smoke)" else "")
+
+let run_replay () =
+  section
+    (Printf.sprintf "Replay: arena engine vs legacy re-execution%s"
+       (if !smoke then " (smoke subset)" else ""));
+  let max_execs = if !smoke then Some 10_000 else Some 400_000 in
+  Format.printf "%-34s %9s %10s %10s %9s %11s %11s@." "Workload" "explored" "arena/s" "legacy/s"
+    "speedup" "words/exec" "(legacy)";
+  let rows =
+    List.map
+      (fun b ->
+        let r = replay_one ~max_execs b in
+        Format.printf "%-34s %9d %10.0f %10.0f %8.2fx %11.0f %11.0f@." r.rp_workload
+          r.rp_explored
+          (rp_eps r.rp_explored r.rp_arena_wall_s)
+          (rp_eps r.rp_explored r.rp_legacy_wall_s)
+          (rp_eps r.rp_explored r.rp_arena_wall_s
+          /. Float.max 1e-9 (rp_eps r.rp_explored r.rp_legacy_wall_s))
+          r.rp_arena_words_per_exec r.rp_legacy_words_per_exec;
+        r)
+      Structures.Registry.exhaustive
+  in
+  write_replay_json rows
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1018,8 +1184,10 @@ let () =
       | "lint" -> run_lint ()
       | "check-cache" -> run_check_cache ()
       | "explore" -> run_explore ()
+      | "replay" -> run_replay ()
       | other ->
         Format.printf
-          "unknown job %S (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore)@."
+          "unknown job %S \
+           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay)@."
           other)
     names

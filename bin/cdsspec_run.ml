@@ -97,12 +97,19 @@ let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
   ignore (b, t);
   r.bugs <> []
 
-let exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune (b : B.t) ~ords (t : B.test) =
+let exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune ~engine (b : B.t) ~ords
+    (t : B.test) =
   let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
   let r =
     Mc.Parallel.explore ~jobs
       ~config:
-        { E.default_config with scheduler = b.scheduler; max_executions = max_execs; prune }
+        {
+          E.default_config with
+          scheduler = b.scheduler;
+          max_executions = max_execs;
+          prune;
+          engine;
+        }
       ~on_feasible:(Cdsspec.Checker.hook ~config:checker ~cache b.spec)
       ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
       (t.program ords)
@@ -116,6 +123,12 @@ let exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune (b : B.t) ~ords (
   if s.pruned_equiv + s.pruned_sleep_set + s.pruned_loop_bound + s.pruned_max_actions > 0 then
     Format.printf "  pruned: %d equivalence, %d sleep-set, %d loop-bound, %d max-actions@."
       s.pruned_equiv s.pruned_sleep_set s.pruned_loop_bound s.pruned_max_actions;
+  Format.printf "  engine: %s, %.0f minor words/exec%s@."
+    (match engine with `Arena -> "arena" | `Legacy -> "legacy")
+    (if s.explored > 0 then s.minor_words /. float_of_int s.explored else 0.)
+    (if s.snapshots > 0 || s.restores > 0 then
+       Printf.sprintf ", %d snapshots, %d restores" s.snapshots s.restores
+     else "");
   r
 
 let fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B.test)
@@ -185,6 +198,9 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
         buggy = (if bugs <> [] then 1 else 0);
         time = 0.;
         truncated = false;
+        minor_words = 0.;
+        snapshots = 0;
+        restores = 0;
         check = Cdsspec.Checker.cache_counters cache;
       };
     bugs;
@@ -194,8 +210,8 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
     graphs = (if complete then [ C11.Execution.fingerprint run_r.exec ] else []);
   }
 
-let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_prune fuzzing
-    replay =
+let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_prune legacy
+    fuzzing replay =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
@@ -216,7 +232,10 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_pr
           | None -> Error (`Msg (Printf.sprintf "bad trace %S: expected dot-separated indices" s)))
         | None ->
           if fuzz then Ok (fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias)
-          else Ok (exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune:(not no_prune))
+          else
+            Ok
+              (exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune:(not no_prune)
+                 ~engine:(if legacy then `Legacy else `Arena))
       in
       match run with
       | Error e -> e
@@ -513,13 +532,24 @@ let check_term =
              equivalence is tested); this is the escape hatch for differential debugging and for \
              exact interleaving counts.")
   in
+  let legacy_engine =
+    Arg.(
+      value & flag
+      & info [ "legacy-engine" ]
+          ~doc:
+            "Explore with the pre-arena engine (a fresh scheduler run per execution, rebuilding \
+             from action zero) instead of the arena engine's copy-free snapshot restore. Both \
+             produce bit-identical verdicts, graph sets, bug lists and traces; this is the \
+             differential oracle.")
+  in
   Term.(
-    const (fun name test weaken overrides max_execs verbose dot jobs no_prune fuzzing replay ->
+    const
+      (fun name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing replay ->
         exit_of
-          (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune fuzzing
+          (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing
              replay))
     $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ no_prune
-    $ fuzzing_term $ replay)
+    $ legacy_engine $ fuzzing_term $ replay)
 
 let lint_term =
   let bench = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in

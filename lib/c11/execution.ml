@@ -1,4 +1,4 @@
-module IntSet = Set.Make (Int)
+
 
 type problem =
   | Data_race of { first : Action.t; second : Action.t }
@@ -19,17 +19,21 @@ type problem =
    Representation: an order-sensitive digest chain per thread, per
    location (mo) and for the SC order, XOR-folded into one running
    aggregate. Each chain update costs O(1): the aggregate is XORed with
-   [old_chain ^ new_chain], so no end-of-run walk is needed. *)
+   [old_chain ^ new_chain], so no end-of-run walk is needed.
 
-let mix64 (z : int64) =
-  let open Int64 in
-  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
-  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
-  logxor z (shift_right_logical z 33)
+   Chains are mixed in native [int] (63-bit, wrapping) so the hot path
+   never boxes — an [Int64] digest would allocate on every arithmetic
+   step. The exported {!fingerprint} widens to [int64] at the
+   boundary. *)
 
-let golden = 0x9E3779B97F4A7C15L
-let h_step h x = mix64 (Int64.add (Int64.mul h golden) x)
-let h_int h i = h_step h (Int64.of_int i)
+let mixh z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let golden = 0x1E3779B97F4A7C15
+let h_step h x = mixh ((h * golden) + x)
+let h_int h (i : int) = h_step h i
 let h_opt h = function None -> h_int h (-2) | Some v -> h_int (h_int h 2) v
 
 let kind_tag : Action.kind -> int = function
@@ -64,8 +68,21 @@ type thread_state = {
   mutable release_fence : Clock.t option;  (* clock at the latest release fence *)
   mutable sc_fences : (int * int) list;  (* (seq, commit id), newest first *)
   mutable inherited : Clock.t;  (* parent clock at Create, joined at Start *)
-  mutable fp_chain : int64;  (* fingerprint chain over this thread's actions *)
+  mutable fp_chain : int;  (* fingerprint chain over this thread's actions *)
+  chain : int Vec.t;  (* this thread's action ids, in commit order *)
+  fp_hist : int Vec.t;  (* fp_chain value before each of this thread's actions *)
 }
+
+(* Undo journal for the thread/graph scalars that are overwritten rather
+   than appended on commit: each entry stores the value a field held
+   before one commit mutated it. [restore] pops entries (newest first)
+   until the journal is back at the watermark, so nested overwrites of
+   the same field unwind to exactly the value it held at the mark. *)
+type jentry =
+  | J_pending of int * Clock.t  (* tid, previous pending_acquire *)
+  | J_release_fence of int * Clock.t option  (* tid, previous release_fence *)
+  | J_inherited of int * Clock.t  (* tid, previous inherited *)
+  | J_next_loc of int  (* previous next_loc *)
 
 (* Per-(location, thread) coherence index: the stores and atomic reads
    this thread committed to the location, as parallel (seq, mo index)
@@ -90,28 +107,39 @@ type loc_state = {
   mutable per_tid : loc_thread option array;  (* coherence index, grown on demand *)
   sc_ids : int Vec.t;  (* commit ids of seq_cst stores, increasing *)
   sc_idx : int Vec.t;  (* their mo indices, increasing *)
-  idx_of : (int, int) Hashtbl.t;  (* action id -> mo index *)
   mutable na_stores : int;  (* non-atomic stores: gates race scans *)
-  mutable fp_mo : int64;  (* fingerprint chain over mo *)
+  mutable fp_mo : int;  (* fingerprint chain over mo *)
+  fp_mo_hist : int Vec.t;  (* fp_mo value before each store to this location *)
+  acq_memo : Clock.t option Vec.t;
+      (* memoized [acquired_clock] per mo index — a pure function of the
+         store prefix up to that index, which arena truncation preserves,
+         so entries survive (and pay off across) backtracking restores.
+         Kept the same length as [stores]. *)
 }
 
 type t = {
   actions : Action.t Vec.t;
+  mo_idx : int Vec.t;  (* action id -> mo index of the store, or -1 *)
   mutable threads : thread_state array;
-  locs : (int, loc_state) Hashtbl.t;
+  locs : loc_state option Vec.t;  (* dense: indexed by location id *)
   mutable next_loc : int;
-  mutable fp : int64;  (* XOR-fold of all fingerprint chains *)
-  mutable fp_sc : int64;  (* fingerprint chain over the SC order *)
+  mutable fp : int;  (* XOR-fold of all fingerprint chains *)
+  mutable fp_sc : int;  (* fingerprint chain over the SC order *)
+  fp_sc_hist : int Vec.t;  (* fp_sc value before each seq_cst action *)
+  journal : jentry Vec.t;
 }
 
 let create () =
   {
     actions = Vec.create ();
+    mo_idx = Vec.create ();
     threads = [||];
-    locs = Hashtbl.create 64;
+    locs = Vec.create ();
     next_loc = 0;
-    fp = 0L;
-    fp_sc = 0L;
+    fp = 0;
+    fp_sc = 0;
+    fp_sc_hist = Vec.create ();
+    journal = Vec.create ();
   }
 
 let new_thread_state () =
@@ -122,7 +150,9 @@ let new_thread_state () =
     release_fence = None;
     sc_fences = [];
     inherited = Clock.empty;
-    fp_chain = 0L;
+    fp_chain = 0;
+    chain = Vec.create ();
+    fp_hist = Vec.create ();
   }
 
 let thread t tid =
@@ -133,8 +163,10 @@ let thread t tid =
   end;
   t.threads.(tid)
 
+let find_loc t loc = if loc < Vec.length t.locs then Vec.get t.locs loc else None
+
 let loc_state t loc =
-  match Hashtbl.find_opt t.locs loc with
+  match find_loc t loc with
   | Some ls -> ls
   | None ->
     let ls =
@@ -145,12 +177,16 @@ let loc_state t loc =
         per_tid = [||];
         sc_ids = Vec.create ();
         sc_idx = Vec.create ();
-        idx_of = Hashtbl.create 16;
         na_stores = 0;
-        fp_mo = h_int 0L loc;
+        fp_mo = h_int 0 loc;
+        fp_mo_hist = Vec.create ();
+        acq_memo = Vec.create ();
       }
     in
-    Hashtbl.add t.locs loc ls;
+    while Vec.length t.locs <= loc do
+      Vec.push t.locs None
+    done;
+    Vec.set t.locs loc (Some ls);
     ls
 
 let loc_tid ls tid =
@@ -171,14 +207,14 @@ let num_actions t = Vec.length t.actions
 
 let action t id = Vec.get t.actions id
 
-let fingerprint t = mix64 (Int64.logxor t.fp (Int64.of_int (Vec.length t.actions)))
+let fingerprint t = Int64.of_int (mixh (t.fp lxor Vec.length t.actions))
 
 (* Index maintenance on commit. *)
 
 let push_store t ls (a : Action.t) =
   let idx = Vec.length ls.stores in
   Vec.push ls.stores a;
-  Hashtbl.replace ls.idx_of a.id idx;
+  Vec.set t.mo_idx a.id idx;
   let tl = loc_tid ls a.tid in
   Vec.push tl.w_seq a.seq;
   Vec.push tl.w_idx idx;
@@ -187,10 +223,12 @@ let push_store t ls (a : Action.t) =
     Vec.push ls.sc_idx idx
   end;
   if a.kind = Action.Na_store then ls.na_stores <- ls.na_stores + 1;
+  Vec.push ls.acq_memo None;
   let old = ls.fp_mo in
+  Vec.push ls.fp_mo_hist old;
   let nw = h_int (h_int old a.tid) a.seq in
   ls.fp_mo <- nw;
-  t.fp <- Int64.logxor t.fp (Int64.logxor old nw)
+  t.fp <- t.fp lxor old lxor nw
 
 let push_read ls (a : Action.t) idx =
   Vec.push ls.reads (a, idx);
@@ -214,32 +252,48 @@ let hb_or_sc t a b =
     || (Action.is_seq_cst aa && Action.is_seq_cst ab && aa.id < ab.id)
 
 let last_write t loc =
-  match Hashtbl.find_opt t.locs loc with
+  match find_loc t loc with
   | Some ls when not (Vec.is_empty ls.stores) -> Some (Vec.last ls.stores)
   | _ -> None
 
 (* Release-sequence walk (C++11 1.10p7, plus the hypothetical release
    sequences of 29.8): the clock acquired by a read of [stores.(rf_index)].
    A head candidate at index [i] is valid when every later chain element up
-   to [rf_index] is an RMW or a store by the head's own thread. *)
+   to [rf_index] is an RMW or a store by the head's own thread. The walk
+   tracks the (at most two relevant) distinct non-RMW tids seen so far in
+   two ints, and its result — a pure function of the store prefix — is
+   memoized per index in [ls.acq_memo], so across an arena session each
+   index is walked once, not once per read. *)
 let acquired_clock (ls : loc_state) rf_index =
-  let rec walk i foreign acc =
-    if i < 0 then acc
-    else begin
-      let w = Vec.get ls.stores i in
-      let valid = IntSet.is_empty foreign || IntSet.equal foreign (IntSet.singleton w.Action.tid) in
-      let acc =
-        if valid then
-          match w.Action.release_clock with
-          | Some rc -> Clock.join acc rc
-          | None -> acc
-        else acc
-      in
-      let foreign = if w.Action.kind = Action.Rmw then foreign else IntSet.add w.Action.tid foreign in
-      if IntSet.cardinal foreign >= 2 then acc else walk (i - 1) foreign acc
-    end
-  in
-  walk rf_index IntSet.empty Clock.empty
+  match Vec.get ls.acq_memo rf_index with
+  | Some c -> c
+  | None ->
+    (* f1/f2: distinct tids of non-RMW chain elements above the current
+       position (-1 = unset). Two distinct foreign tids invalidate every
+       lower head, ending the walk. *)
+    let rec walk i f1 f2 acc =
+      if i < 0 then acc
+      else begin
+        let w = Vec.get ls.stores i in
+        let valid = f1 < 0 || (f2 < 0 && f1 = w.Action.tid) in
+        let acc =
+          if valid then
+            match w.Action.release_clock with
+            | Some rc -> Clock.join acc rc
+            | None -> acc
+          else acc
+        in
+        let f1, f2 =
+          if w.Action.kind = Action.Rmw || w.Action.tid = f1 || w.Action.tid = f2 then (f1, f2)
+          else if f1 < 0 then (w.Action.tid, f2)
+          else (f1, w.Action.tid)
+        in
+        if f1 >= 0 && f2 >= 0 then acc else walk (i - 1) f1 f2 acc
+      end
+    in
+    let c = walk rf_index (-1) (-1) Clock.empty in
+    Vec.set ls.acq_memo rf_index (Some c);
+    c
 
 (* A poison write models the pristine contents of uninitialized malloc'd
    memory: reads that are not forced past it observe garbage, which is
@@ -270,10 +324,9 @@ let race_problems (ls : loc_state) (a : Action.t) =
   end;
   !races
 
-let store_index (ls : loc_state) (w : Action.t) =
-  match Hashtbl.find_opt ls.idx_of w.Action.id with
-  | Some i -> i
-  | None -> invalid_arg "store_index: not a store of this location"
+let store_index t (w : Action.t) =
+  let i = Vec.get t.mo_idx w.Action.id in
+  if i < 0 then invalid_arg "store_index: not a store of this location" else i
 
 (* Largest index [j] with [v.(j) <= x] in an ascending vector, or -1. *)
 let bsearch_le (v : int Vec.t) x =
@@ -443,8 +496,23 @@ let read_candidates_of min_readable t ~tid ~mo ~loc =
 let read_candidates t ~tid ~mo ~loc = read_candidates_of min_readable_index t ~tid ~mo ~loc
 let read_candidates_ref t ~tid ~mo ~loc = read_candidates_of min_readable_index_ref t ~tid ~mo ~loc
 
+(* Allocation-free variant for the hot load path: the candidate set is a
+   contiguous mo-order suffix, so its size plus newest-first indexing
+   replace the materialized list. [read_window] gives the count;
+   candidate [i] of [read_candidate] is the [i]-th newest store. *)
+let read_window t ~tid ~mo ~loc =
+  match find_loc t loc with
+  | None -> 0
+  | Some ls ->
+    let n = Vec.length ls.stores in
+    if n = 0 then 0 else n - min_readable_index t ~tid ~mo ls
+
+let read_candidate t ~loc i =
+  let ls = loc_state t loc in
+  Vec.get ls.stores (Vec.length ls.stores - 1 - i)
+
 let rmw_candidate t ~loc =
-  match Hashtbl.find_opt t.locs loc with
+  match find_loc t loc with
   | Some ls when not (Vec.is_empty ls.stores) -> Some (Vec.last ls.stores)
   | _ -> None
 
@@ -470,9 +538,12 @@ let mk_action t ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock 
   ts.seq <- seq;
   ts.clock <- clock;
   Vec.push t.actions a;
+  Vec.push t.mo_idx (-1);
+  Vec.push ts.chain a.Action.id;
+  Vec.push ts.fp_hist ts.fp_chain;
   (* fingerprint: per-thread chain element — everything the action is,
      with reads-from as the canonical (tid, seq) of the source write *)
-  let h = h_int (h_int 0x5fe1L tid) seq in
+  let h = h_int (h_int 0x5fe1 tid) seq in
   let h = h_int (h_int h (kind_tag kind)) (kind_payload kind) in
   let h = h_int (h_int h loc) (mo_tag mo) in
   let h = h_opt (h_opt h read_value) written_value in
@@ -486,12 +557,13 @@ let mk_action t ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock 
   let old = ts.fp_chain in
   let nw = h_step old h in
   ts.fp_chain <- nw;
-  t.fp <- Int64.logxor t.fp (Int64.logxor old nw);
+  t.fp <- t.fp lxor old lxor nw;
   if Memory_order.is_seq_cst mo then begin
     let old = t.fp_sc in
+    Vec.push t.fp_sc_hist old;
     let nw = h_int (h_int old tid) seq in
     t.fp_sc <- nw;
-    t.fp <- Int64.logxor t.fp (Int64.logxor old nw)
+    t.fp <- t.fp lxor old lxor nw
   end;
   a
 
@@ -510,10 +582,14 @@ let commit_load t ~tid ~mo ~loc ~rf ?site () =
     in
     (a, Uninitialized_load a :: race_problems ls a)
   | Some (w : Action.t) ->
-    let idx = store_index ls w in
+    let idx = store_index t w in
     let acquired = acquired_clock ls idx in
     let clock = if Memory_order.is_acquire mo then Clock.join base acquired else base in
-    ts.pending_acquire <- Clock.join ts.pending_acquire acquired;
+    let pending = Clock.join ts.pending_acquire acquired in
+    if pending != ts.pending_acquire then begin
+      Vec.push t.journal (J_pending (tid, ts.pending_acquire));
+      ts.pending_acquire <- pending
+    end;
     let read_value = match w.written_value with Some v -> v | None -> 0 in
     let a =
       mk_action t ~tid ~kind:Action.Load ~loc ~mo ~read_value ~rf:w.id ?site ~clock
@@ -582,7 +658,11 @@ let commit_rmw t ~tid ~mo ~loc ~value ?site () =
   let base = base_clock t tid in
   let acquired = acquired_clock ls idx in
   let clock = if Memory_order.is_acquire mo then Clock.join base acquired else base in
-  ts.pending_acquire <- Clock.join ts.pending_acquire acquired;
+  let pending = Clock.join ts.pending_acquire acquired in
+  if pending != ts.pending_acquire then begin
+    Vec.push t.journal (J_pending (tid, ts.pending_acquire));
+    ts.pending_acquire <- pending
+  end;
   let release_clock = write_release_clock t ~tid ~mo ~clock in
   let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
   let a =
@@ -602,7 +682,10 @@ let commit_fence t ~tid ~mo =
   let a =
     mk_action t ~tid ~kind:Action.Fence ~loc:Action.no_loc ~mo ~clock ~release_clock:None ()
   in
-  if Memory_order.is_release mo then ts.release_fence <- Some clock;
+  if Memory_order.is_release mo then begin
+    Vec.push t.journal (J_release_fence (tid, ts.release_fence));
+    ts.release_fence <- Some clock
+  end;
   if Memory_order.is_seq_cst mo then ts.sc_fences <- (a.Action.seq, a.Action.id) :: ts.sc_fences;
   a
 
@@ -612,7 +695,9 @@ let commit_create t ~tid ~child =
     mk_action t ~tid ~kind:(Action.Create child) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
       ~release_clock:None ()
   in
-  (thread t child).inherited <- clock;
+  let child_ts = thread t child in
+  Vec.push t.journal (J_inherited (child, child_ts.inherited));
+  child_ts.inherited <- clock;
   a
 
 let commit_start t ~tid =
@@ -642,6 +727,7 @@ let commit_poison t ~tid ~loc =
 
 let alloc t ~tid ~count ~init =
   let base = t.next_loc in
+  Vec.push t.journal (J_next_loc base);
   t.next_loc <- t.next_loc + count;
   (match init with
   | None ->
@@ -657,6 +743,129 @@ let alloc t ~tid ~count ~init =
       ignore (commit_store t ~tid ~mo:Memory_order.Relaxed ~loc:(base + i) ~value:v ~site:"<init>" ())
     done);
   base
+
+(* ------------------------------------------------------------------ *)
+(* Arena watermarks: mark / restore / copy                             *)
+
+type mark = { m_nacts : int; m_jlen : int }
+
+let mark t = { m_nacts = Vec.length t.actions; m_jlen = Vec.length t.journal }
+
+(* Undo the newest committed action: pop every append-only structure it
+   pushed and XOR the irreversible hash chains back using the recorded
+   history values. Fields that commits overwrite (rather than append to)
+   are restored separately by the journal walk in [restore]. *)
+let undo_last t =
+  let a = Vec.pop t.actions in
+  ignore (Vec.pop t.mo_idx);
+  let ts = t.threads.(a.Action.tid) in
+  ignore (Vec.pop ts.chain);
+  let prev_chain = Vec.pop ts.fp_hist in
+  t.fp <- t.fp lxor ts.fp_chain lxor prev_chain;
+  ts.fp_chain <- prev_chain;
+  if Memory_order.is_seq_cst a.Action.mo then begin
+    let prev_sc = Vec.pop t.fp_sc_hist in
+    t.fp <- t.fp lxor t.fp_sc lxor prev_sc;
+    t.fp_sc <- prev_sc
+  end;
+  ts.seq <- a.Action.seq - 1;
+  ts.clock <-
+    (if Vec.is_empty ts.chain then Clock.empty
+     else (Vec.get t.actions (Vec.last ts.chain)).Action.clock);
+  let undo_read ls =
+    ignore (Vec.pop ls.reads);
+    let tl = loc_tid ls a.Action.tid in
+    ignore (Vec.pop tl.r_seq);
+    ignore (Vec.pop tl.r_idx)
+  in
+  let undo_store ls =
+    ignore (Vec.pop ls.stores);
+    let tl = loc_tid ls a.Action.tid in
+    ignore (Vec.pop tl.w_seq);
+    ignore (Vec.pop tl.w_idx);
+    if Memory_order.is_seq_cst a.Action.mo then begin
+      ignore (Vec.pop ls.sc_ids);
+      ignore (Vec.pop ls.sc_idx)
+    end;
+    if a.Action.kind = Action.Na_store then ls.na_stores <- ls.na_stores - 1;
+    ignore (Vec.pop ls.acq_memo);
+    let prev_mo = Vec.pop ls.fp_mo_hist in
+    t.fp <- t.fp lxor ls.fp_mo lxor prev_mo;
+    ls.fp_mo <- prev_mo
+  in
+  match a.Action.kind with
+  | Action.Load -> if a.Action.rf <> None then undo_read (loc_state t a.Action.loc)
+  | Na_load ->
+    if a.Action.rf <> None then ignore (Vec.pop (loc_state t a.Action.loc).na_reads)
+  | Store | Na_store -> undo_store (loc_state t a.Action.loc)
+  | Rmw ->
+    let ls = loc_state t a.Action.loc in
+    undo_read ls;
+    undo_store ls
+  | Fence -> if Memory_order.is_seq_cst a.Action.mo then ts.sc_fences <- List.tl ts.sc_fences
+  | Create _ | Start | Finish | Join _ -> ()
+
+let restore t m =
+  while Vec.length t.actions > m.m_nacts do
+    undo_last t
+  done;
+  while Vec.length t.journal > m.m_jlen do
+    match Vec.pop t.journal with
+    | J_pending (tid, c) -> t.threads.(tid).pending_acquire <- c
+    | J_release_fence (tid, rf) -> t.threads.(tid).release_fence <- rf
+    | J_inherited (tid, c) -> t.threads.(tid).inherited <- c
+    | J_next_loc n -> t.next_loc <- n
+  done
+
+let copy t =
+  let copy_ts ts =
+    {
+      clock = ts.clock;
+      seq = ts.seq;
+      pending_acquire = ts.pending_acquire;
+      release_fence = ts.release_fence;
+      sc_fences = ts.sc_fences;
+      inherited = ts.inherited;
+      fp_chain = ts.fp_chain;
+      chain = Vec.copy ts.chain;
+      fp_hist = Vec.copy ts.fp_hist;
+    }
+  in
+  let copy_tl tl =
+    {
+      w_seq = Vec.copy tl.w_seq;
+      w_idx = Vec.copy tl.w_idx;
+      r_seq = Vec.copy tl.r_seq;
+      r_idx = Vec.copy tl.r_idx;
+    }
+  in
+  let copy_ls ls =
+    {
+      stores = Vec.copy ls.stores;
+      reads = Vec.copy ls.reads;
+      na_reads = Vec.copy ls.na_reads;
+      per_tid = Array.map (Option.map copy_tl) ls.per_tid;
+      sc_ids = Vec.copy ls.sc_ids;
+      sc_idx = Vec.copy ls.sc_idx;
+      na_stores = ls.na_stores;
+      fp_mo = ls.fp_mo;
+      fp_mo_hist = Vec.copy ls.fp_mo_hist;
+      acq_memo = Vec.copy ls.acq_memo;
+    }
+  in
+  let locs = Vec.create () in
+  Vec.iter (fun ls -> Vec.push locs (Option.map copy_ls ls)) t.locs;
+  {
+    actions = Vec.copy t.actions;
+    mo_idx = Vec.copy t.mo_idx;
+    threads = Array.map copy_ts t.threads;
+    locs;
+    next_loc = t.next_loc;
+    fp = t.fp;
+    fp_sc = t.fp_sc;
+    fp_sc_hist = Vec.copy t.fp_sc_hist;
+    journal = Vec.copy t.journal;
+  }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

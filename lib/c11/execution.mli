@@ -57,6 +57,15 @@ val read_candidates : t -> tid:int -> mo:Memory_order.t -> loc:int -> Action.t l
     coherence indices are differentially tested against. *)
 val read_candidates_ref : t -> tid:int -> mo:Memory_order.t -> loc:int -> Action.t list
 
+(** Allocation-free variant of {!read_candidates} for the hot load path:
+    the candidate set is always a contiguous suffix of modification
+    order, so [read_window] returns just its size and
+    [read_candidate t ~loc i] is candidate [i] in the same newest-first
+    order the list version uses. A window of [0] means uninitialized. *)
+val read_window : t -> tid:int -> mo:Memory_order.t -> loc:int -> int
+
+val read_candidate : t -> loc:int -> int -> Action.t
+
 (** The unique write an RMW may read: the mo-maximal write, if any. *)
 val rmw_candidate : t -> loc:int -> Action.t option
 
@@ -121,5 +130,33 @@ val hb_or_sc : t -> int -> int -> bool
     O(1). Thread ids are canonical already — they are assigned in
     creation order. *)
 val fingerprint : t -> int64
+
+(** {1 Arena watermarks}
+
+    The graph is stored in append-only arenas (flat action store, dense
+    per-thread and per-location chains, fingerprint-chain histories)
+    plus an undo journal for the few scalars commits overwrite. [mark]
+    captures the current high-water marks in O(1); [restore] rewinds the
+    graph to a mark by popping arena segments and replaying the journal
+    backwards — cost proportional to the number of actions undone, not
+    to the size of the graph.
+
+    Restoring invalidates nothing that was committed at or before the
+    mark: [Action.t] records and clocks are immutable, so references to
+    them stay valid. References to actions committed {e after} the mark
+    must not be retained across a restore. *)
+
+type mark
+
+val mark : t -> mark
+
+(** [restore t m] rewinds [t] to the state captured by [m], which must
+    come from this [t] with no intervening restore past it. *)
+val restore : t -> mark -> unit
+
+(** Deep copy: the result shares only immutable values (actions, clocks)
+    with the original and is unaffected by later commits or restores on
+    it. Used to retain an execution past the arena's next restore. *)
+val copy : t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -2,7 +2,7 @@ type 'a t = { mutable data : 'a array; mutable len : int }
 
 let create () = { data = [||]; len = 0 }
 
-let length v = v.len
+let[@inline] length v = v.len
 
 let grow v x =
   let cap = Array.length v.data in
@@ -11,49 +11,55 @@ let grow v x =
   Array.blit v.data 0 data 0 v.len;
   v.data <- data
 
-let push v x =
+(* Element accesses validate against [len] explicitly, then use unsafe
+   array primitives: the explicit check subsumes the bounds check the
+   safe primitives would repeat. *)
+
+let[@inline] push v x =
   if v.len = Array.length v.data then grow v x;
-  v.data.(v.len) <- x;
+  Array.unsafe_set v.data v.len x;
   v.len <- v.len + 1
 
-let get v i =
+let[@inline] get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get";
-  v.data.(i)
+  Array.unsafe_get v.data i
 
-let set v i x =
+let[@inline] set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
-  v.data.(i) <- x
+  Array.unsafe_set v.data i x
 
-let last v = if v.len = 0 then invalid_arg "Vec.last" else v.data.(v.len - 1)
+let[@inline] last v =
+  if v.len = 0 then invalid_arg "Vec.last";
+  Array.unsafe_get v.data (v.len - 1)
 
-let is_empty v = v.len = 0
+let[@inline] is_empty v = v.len = 0
 
 let truncate v n = if n < 0 || n > v.len then invalid_arg "Vec.truncate" else v.len <- n
 
-let pop v =
-  if v.len = 0 then invalid_arg "Vec.pop"
-  else begin
-    v.len <- v.len - 1;
-    v.data.(v.len)
-  end
+let[@inline] pop v =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let copy v = { data = Array.copy v.data; len = v.len }
 
 let iter f v =
   for i = 0 to v.len - 1 do
-    f v.data.(i)
+    f (Array.unsafe_get v.data i)
   done
 
 let iteri f v =
   for i = 0 to v.len - 1 do
-    f i v.data.(i)
+    f i (Array.unsafe_get v.data i)
   done
 
-let to_list v = List.init v.len (fun i -> v.data.(i))
+let to_list v = List.init v.len (fun i -> Array.unsafe_get v.data i)
 
 let fold_right_while f v init =
   let rec go i acc =
     if i < 0 then acc
     else
-      match f i v.data.(i) acc with
+      match f i (Array.unsafe_get v.data i) acc with
       | `Continue acc -> go (i - 1) acc
       | `Stop acc -> acc
   in

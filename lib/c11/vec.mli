@@ -20,6 +20,10 @@ val truncate : 'a t -> int -> unit
 (** Remove and return the last element. Raises [Invalid_argument] when
     empty. *)
 val pop : 'a t -> 'a
+
+(** Shallow copy: fresh backing storage, shared elements. *)
+val copy : 'a t -> 'a t
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list

@@ -201,6 +201,9 @@ let explorer_result (r : result) : Mc.Explorer.result =
         buggy = r.stats.buggy;
         truncated = r.stats.truncated;
         time = r.stats.time;
+        minor_words = 0.;
+        snapshots = 0;
+        restores = 0;
         check = r.stats.check;
       };
     bugs = List.map (fun f -> f.bug) r.found;

@@ -5,10 +5,17 @@ type config = {
   max_executions : int option;
   progress : (int -> unit) option;
   prune : bool;
+  engine : [ `Arena | `Legacy ];
 }
 
 let default_config =
-  { scheduler = Scheduler.default_config; max_executions = None; progress = None; prune = true }
+  {
+    scheduler = Scheduler.default_config;
+    max_executions = None;
+    progress = None;
+    prune = true;
+    engine = `Arena;
+  }
 
 type check_counters = {
   cache_hits : int;
@@ -38,6 +45,9 @@ type stats = {
   buggy : int;
   truncated : bool;
   time : float;
+  minor_words : float;  (* minor-heap words allocated during the search *)
+  snapshots : int;  (* arena snapshots captured (0 under the legacy engine) *)
+  restores : int;  (* arena snapshot restores (0 under the legacy engine) *)
   check : check_counters;
 }
 
@@ -51,12 +61,12 @@ type result = {
 
 (* Decision records are mutated by [backtrack]; a prefix handed to
    another explorer (a parallel work item, or a stolen subtree) must own
-   its records — and the candidates array, to keep the copy
-   self-contained — or explorers would race on [sched_chosen]. *)
+   its records or explorers would race on [sched_chosen]. The candidates
+   array is never mutated after creation, so the copy shares it — a
+   donation costs O(prefix) record headers, not a deep copy. *)
 let copy_decision : Scheduler.decision -> Scheduler.decision = function
   | Scheduler.Sched d ->
-    Scheduler.Sched
-      { sched_chosen = d.sched_chosen; candidates = Array.copy d.candidates; state = d.state }
+    Scheduler.Sched { sched_chosen = d.sched_chosen; candidates = d.candidates; state = d.state }
   | Choice d -> Choice { choice_chosen = d.choice_chosen; num = d.num }
 
 (* Advance [trace] to the next unexplored branch: drop exhausted trailing
@@ -105,6 +115,7 @@ let donatable ~frozen (trace : Scheduler.decision Vec.t) =
 let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> no_check_counters)
     ?stop ?want_split ?on_split ~trace ~frozen main =
   let t0 = Monotonic.now () in
+  let g0 = (Gc.quick_stat ()).Gc.minor_words in
   (* Time spent in the caller's [progress] callback is the caller's, not
      the search's: subtract it, or a slow reporter inflates [stats.time]. *)
   let progress_overhead = ref 0. in
@@ -135,12 +146,17 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
      recorded at its first (DFS-earliest) occurrence. *)
   let graphs : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
   let frozen = ref frozen in
+  (* Under the arena engine [exec] is the session's single graph, valid
+     only until the next run: retaining it requires a deep copy. *)
+  let retain_exec =
+    match config.engine with `Arena -> C11.Execution.copy | `Legacy -> fun exec -> exec
+  in
   let record_bugs exec found =
     if found <> [] then begin
       incr buggy;
       if !first_buggy_trace = None then begin
         first_buggy_trace := Some (Fmt.str "%a" C11.Execution.pp exec);
-        first_buggy_exec := Some exec
+        first_buggy_exec := Some (retain_exec exec)
       end;
       List.iter
         (fun b ->
@@ -152,9 +168,18 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
         found
     end
   in
+  let session =
+    match config.engine with
+    | `Arena -> Some (Scheduler.session_create ?prune ~config:config.scheduler ~trace main)
+    | `Legacy -> None
+  in
   let continue_ = ref true in
   while !continue_ do
-    let r = Scheduler.run ?prune ~config:config.scheduler ~trace main in
+    let r =
+      match session with
+      | Some s -> Scheduler.session_run s
+      | None -> Scheduler.run ?prune ~config:config.scheduler ~trace main
+    in
     incr explored;
     (match config.progress with
     | Some f when !explored mod 1024 = 0 ->
@@ -218,6 +243,9 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
     end
   done;
   let graph_list = List.sort_uniq Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) graphs []) in
+  let snapshots, restores =
+    match session with Some s -> Scheduler.session_counters s | None -> (0, 0)
+  in
   {
     stats =
       {
@@ -231,6 +259,9 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
         buggy = !buggy;
         truncated = !truncated;
         time = Monotonic.now () -. t0 -. !progress_overhead;
+        minor_words = (Gc.quick_stat ()).Gc.minor_words -. g0;
+        snapshots;
+        restores;
         check = check ();
       };
     bugs = List.rev !bugs;

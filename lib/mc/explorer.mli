@@ -17,6 +17,14 @@ type config = {
           checker verdicts are unchanged; [explored]-style counters
           shrink (that is the point). [--no-prune] in [cdsspec_run] maps
           to [false]. *)
+  engine : [ `Arena | `Legacy ];
+      (** [`Arena] (default): one persistent {!Scheduler.session} whose
+          arena-backed graph is rewound by snapshot restore on each
+          backtrack instead of re-running the program prefix. [`Legacy]:
+          a fresh {!Scheduler.run} per execution, rebuilding from action
+          zero — the differential oracle ([--legacy-engine] in
+          [cdsspec_run]). Both produce bit-identical verdicts, graph
+          sets, bug lists and traces. *)
 }
 
 val default_config : config
@@ -60,6 +68,12 @@ type stats = {
   time : float;
       (** wall-clock seconds, measured with the monotonic clock and
           excluding time spent inside the [progress] callback *)
+  minor_words : float;
+      (** minor-heap words allocated by this domain during the search
+          ([Gc.quick_stat] delta); divide by [explored] for the
+          allocation-per-execution the arena engine is meant to shrink *)
+  snapshots : int;  (** arena snapshots captured; 0 under [`Legacy] *)
+  restores : int;  (** arena snapshot restores; 0 under [`Legacy] *)
   check : check_counters;
       (** snapshot of the checking hook's counters at the end of the
           search ({!no_check_counters} when none was supplied) *)
@@ -78,10 +92,11 @@ type result = {
           tests compare, and what {!Parallel} unions across subtrees *)
 }
 
-(** Deep-copy a decision record (including the candidates array): decision
-    records are mutated by {!backtrack}, so a prefix handed to another
-    explorer — a parallel work item, or a stolen subtree — must own its
-    records or explorers would race on the chosen index. *)
+(** Copy a decision record: decision records are mutated by {!backtrack},
+    so a prefix handed to another explorer — a parallel work item, or a
+    stolen subtree — must own its records or explorers would race on the
+    chosen index. The candidates array is immutable after creation and is
+    shared, keeping donations O(prefix) record headers. *)
 val copy_decision : Scheduler.decision -> Scheduler.decision
 
 (** [backtrack ?frozen ?close trace] advances [trace] to the next

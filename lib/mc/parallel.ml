@@ -61,6 +61,9 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
       buggy = 0;
       truncated = stopped;
       time = 0.;
+      minor_words = 0.;
+      snapshots = 0;
+      restores = 0;
       check;
     }
   in
@@ -85,6 +88,9 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
           buggy = s.buggy + r.stats.buggy;
           truncated = s.truncated || r.stats.truncated;
           time = s.time;
+          minor_words = s.minor_words +. r.stats.minor_words;
+          snapshots = s.snapshots + r.stats.snapshots;
+          restores = s.restores + r.stats.restores;
           check = s.check;
         };
       List.iter (fun fp -> Hashtbl.replace graphs fp ()) r.graphs;

@@ -28,7 +28,18 @@ type op =
 
 type _ Effect.t += Do : op -> int Effect.t
 
-let do_op op = Effect.perform (Do op)
+(* Fast path around the effect machinery: the scheduler installs a
+   per-domain hook that handles an operation *without* suspending the
+   fiber whenever it can decide the result locally — invisible
+   operations (committed immediately; they are not decision points) and
+   replay-fed values. [None] means the operation needs the scheduler:
+   fall back to performing the effect, which pauses the fiber. *)
+let dispatch : (op -> int option) option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let do_op op =
+  match !(Domain.DLS.get dispatch) with
+  | Some f -> ( match f op with Some v -> v | None -> Effect.perform (Do op))
+  | None -> Effect.perform (Do op)
 
 let load ?site mo loc = do_op (Load { mo; loc; site })
 

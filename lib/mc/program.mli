@@ -46,6 +46,14 @@ type op =
 
 type _ Effect.t += Do : op -> int Effect.t
 
+(** Per-domain direct-dispatch hook consulted before performing {!Do}:
+    the scheduler installs a function that commits invisible operations
+    (and feeds replayed values) without suspending the fiber, returning
+    [None] for operations that need a scheduling decision — those fall
+    back to the effect. [None] in the ref (the default) means every
+    operation performs. *)
+val dispatch : (op -> int option) option ref Domain.DLS.key
+
 (** {1 Atomic operations} *)
 
 val load : ?site:string -> mo -> loc -> int

@@ -62,6 +62,7 @@ type run_result = {
 
 exception Prune of outcome
 
+
 type status =
   | Not_started of (unit -> unit)
   | Paused of Program.op * (int, unit) Effect.Deep.continuation
@@ -72,6 +73,36 @@ type footprint =
   | Mem of { loc : int; write : bool }
   | Global  (* fences: they read/extend the SC order *)
   | Pure
+
+(* Per-(tid, site|loc, kind) commit counters for the loop bound. Counter
+   cells are [int ref]s found through an interned-key table (no string
+   formatting on the hot path), and every bump is journalled so a
+   session restore can rewind the counts to a snapshot by decrementing
+   back down the journal. Cells are stable across table growth, which is
+   what keeps journal entries valid. *)
+type counters = {
+  by_site : (string, int ref array ref) Hashtbl.t;  (* site -> cells indexed tid*8+kind *)
+  by_loc : (int, int ref array ref) Hashtbl.t;  (* loc -> cells indexed tid*8+kind *)
+  cj : int ref Vec.t;  (* journal: one entry per bump, newest last *)
+}
+
+let counters_create () = { by_site = Hashtbl.create 64; by_loc = Hashtbl.create 16; cj = Vec.create () }
+
+let counter_cell table key idx =
+  let cells =
+    match Hashtbl.find_opt table key with
+    | Some c -> c
+    | None ->
+      let c = ref [||] in
+      Hashtbl.add table key c;
+      c
+  in
+  let n = Array.length !cells in
+  if idx >= n then begin
+    let grown = Array.init (idx + 8) (fun i -> if i < n then !cells.(i) else ref 0) in
+    cells := grown
+  end;
+  !cells.(idx)
 
 type state = {
   config : config;
@@ -85,8 +116,13 @@ type state = {
   annots : annot Vec.t;
   mutable bugs : Bug.t list;  (* reverse commit order *)
   mutable last_atomic : int option array;
-  op_counts : (string, int) Hashtbl.t;  (* per (tid, site|loc, kind) commit counts *)
+  counters : counters;
+  mutable values : int Vec.t array;  (* per-thread log of the values ops returned *)
   mutable step_footprints : footprint list;  (* footprints of the current step *)
+  mutable replaying : bool;  (* inside [replay_threads]: feed logged values, no commits *)
+  mutable cur_tid : int;  (* thread whose fiber the scheduler is currently driving *)
+  mutable consumed : int array;  (* per-thread replay cursor into [values] *)
+  mutable hook : Program.op -> int option;  (* direct-dispatch hook, closed over this state *)
 }
 
 let get_status st tid = st.threads.(tid)
@@ -95,6 +131,7 @@ let set_status st tid s = st.threads.(tid) <- s
 
 let add_thread st status =
   let tid = st.nthreads in
+  if tid >= Sys.int_size - 2 then invalid_arg "add_thread: too many threads for bitmask sleep sets";
   if tid >= Array.length st.threads then begin
     let threads = Array.make (2 * (tid + 1)) Finished in
     Array.blit st.threads 0 threads 0 st.nthreads;
@@ -102,6 +139,11 @@ let add_thread st status =
     let last = Array.make (2 * (tid + 1)) None in
     Array.blit st.last_atomic 0 last 0 st.nthreads;
     st.last_atomic <- last
+  end;
+  if tid >= Array.length st.values then begin
+    let n = Array.length st.values in
+    let values = Array.init (2 * (tid + 1)) (fun i -> if i < n then st.values.(i) else Vec.create ()) in
+    st.values <- values
   end;
   st.threads.(tid) <- status;
   st.nthreads <- tid + 1;
@@ -150,53 +192,78 @@ let choose st num =
     d.choice_chosen
   end
 
-(* Scheduling decision over candidate tids; returns (chosen tid, sleep
-   contribution of already-explored siblings). [sleeping] is the current
-   (sorted) sleep set — together with the graph fingerprint it keys the
-   state for equivalence pruning at *fresh* decision points. *)
-let choose_sched st sleeping candidates =
-  if Array.length candidates = 1 then (candidates.(0), [])
-  else begin
-    let d =
-      if st.cursor < Vec.length st.trace then begin
-        match Vec.get st.trace st.cursor with
-        | Sched d ->
-          assert (Array.length d.candidates = Array.length candidates);
-          d
-        | Choice _ -> assert false
-      end
-      else begin
-        let state =
-          match st.prune with
-          | None -> None
-          | Some seen ->
-            let key =
-              {
-                fp = Execution.fingerprint st.exec;
-                sleeping;
-                nacts = Execution.num_actions st.exec;
-              }
-            in
-            if seen key then raise (Prune Pruned_equiv);
-            Some key
-        in
-        let d = { sched_chosen = 0; candidates; state } in
-        d.sched_chosen <- initial_choice st (Sched d);
-        Vec.push st.trace (Sched d);
+(* Thread sets on the scheduling hot path (sleep sets, available
+   candidates) are int bitmasks over tids — [add_thread] bounds tids to
+   the word size. Bits ascend with tids, so iterating bits in order
+   reproduces the sorted lists the decision records and prune keys
+   expose. *)
+let mask_to_list nthreads m =
+  let out = ref [] in
+  for tid = nthreads - 1 downto 0 do
+    if m land (1 lsl tid) <> 0 then out := tid :: !out
+  done;
+  !out
+
+(* Scheduling decision over the available-candidate mask [avail] (with
+   [nav] >= 2 set bits; single-candidate steps never reach here); returns
+   (chosen tid, mask of already-explored siblings to put to sleep).
+   [sleep] is the current sleep mask — together with the graph
+   fingerprint it keys the state for equivalence pruning at *fresh*
+   decision points. *)
+let choose_sched st ~sleep ~avail ~nav =
+  let d =
+    if st.cursor < Vec.length st.trace then begin
+      match Vec.get st.trace st.cursor with
+      | Sched d ->
+        assert (Array.length d.candidates = nav);
         d
-      end
-    in
-    st.cursor <- st.cursor + 1;
-    (* Earlier siblings are a sleep-set contribution only under DFS, where
-       [sched_chosen > 0] means they were already explored. A sampled
-       index says nothing about its siblings, so fuzz runs contribute
-       nothing (they disable sleep sets anyway). *)
-    let slept =
-      if st.pick <> None then []
-      else Array.to_list (Array.sub d.candidates 0 d.sched_chosen)
-    in
-    (d.candidates.(d.sched_chosen), slept)
-  end
+      | Choice _ -> assert false
+    end
+    else begin
+      let state =
+        match st.prune with
+        | None -> None
+        | Some seen ->
+          let key =
+            {
+              fp = Execution.fingerprint st.exec;
+              sleeping = mask_to_list st.nthreads sleep;
+              nacts = Execution.num_actions st.exec;
+            }
+          in
+          if seen key then raise (Prune Pruned_equiv);
+          Some key
+      in
+      let candidates = Array.make nav 0 in
+      let i = ref 0 in
+      for tid = 0 to st.nthreads - 1 do
+        if avail land (1 lsl tid) <> 0 then begin
+          candidates.(!i) <- tid;
+          incr i
+        end
+      done;
+      let d = { sched_chosen = 0; candidates; state } in
+      d.sched_chosen <- initial_choice st (Sched d);
+      Vec.push st.trace (Sched d);
+      d
+    end
+  in
+  st.cursor <- st.cursor + 1;
+  (* Earlier siblings are a sleep-set contribution only under DFS, where
+     [sched_chosen > 0] means they were already explored. A sampled
+     index says nothing about its siblings, so fuzz runs contribute
+     nothing (they disable sleep sets anyway). *)
+  let slept =
+    if st.pick <> None then 0
+    else begin
+      let m = ref 0 in
+      for i = 0 to d.sched_chosen - 1 do
+        m := !m lor (1 lsl d.candidates.(i))
+      done;
+      !m
+    end
+  in
+  (d.candidates.(d.sched_chosen), slept)
 
 let kind_tag : Program.op -> int = function
   | Load _ -> 0
@@ -222,14 +289,15 @@ let op_site : Program.op -> string option = function
   | Fence _ | Alloc _ | Spawn _ | Join _ | Annotate _ | Check _ -> None
 
 let bump_op_count st tid loc op =
-  let key =
+  let idx = (tid * 8) + kind_tag op in
+  let cell =
     match op_site op with
-    | Some site -> Printf.sprintf "%d/%s/%d" tid site (kind_tag op)
-    | None -> Printf.sprintf "%d@%d/%d" tid loc (kind_tag op)
+    | Some site -> counter_cell st.counters.by_site site idx
+    | None -> counter_cell st.counters.by_loc loc idx
   in
-  let n = (match Hashtbl.find_opt st.op_counts key with Some n -> n | None -> 0) + 1 in
-  Hashtbl.replace st.op_counts key n;
-  if n > st.config.loop_bound then raise (Prune (Pruned_loop_bound { tid; loc }));
+  incr cell;
+  Vec.push st.counters.cj cell;
+  if !cell > st.config.loop_bound then raise (Prune (Pruned_loop_bound { tid; loc }));
   if Execution.num_actions st.exec > st.config.max_actions then raise (Prune Pruned_max_actions)
 
 let note_atomic st tid (a : C11.Action.t) = st.last_atomic.(tid) <- Some a.id
@@ -270,12 +338,8 @@ let exec_visible st tid (op : Program.op) =
   | Fence _ | Join _ | Na_load _ | Na_store _ | Alloc _ | Spawn _ | Annotate _ | Check _ -> ());
   match op with
   | Program.Load { mo; loc; site } ->
-    let candidates = Execution.read_candidates st.exec ~tid ~mo ~loc in
-    let rf =
-      match candidates with
-      | [] -> None
-      | l -> Some (List.nth l (choose st (List.length l)))
-    in
+    let n = Execution.read_window st.exec ~tid ~mo ~loc in
+    let rf = if n = 0 then None else Some (Execution.read_candidate st.exec ~loc (choose st n)) in
     let a, problems = Execution.commit_load st.exec ~tid ~mo ~loc ~rf ?site () in
     record_problems st problems;
     note_atomic st tid a;
@@ -286,34 +350,49 @@ let exec_visible st tid (op : Program.op) =
     note_atomic st tid a;
     0
   | Cas { mo; fail_mo; loc; expected; desired; site } ->
-    let candidates = Execution.read_candidates st.exec ~tid ~mo:fail_mo ~loc in
-    (match candidates with
-    | [] ->
+    let n = Execution.read_window st.exec ~tid ~mo:fail_mo ~loc in
+    if n = 0 then begin
       (* CAS on an uninitialized location: like an uninitialized load *)
       let a, problems = Execution.commit_load st.exec ~tid ~mo:fail_mo ~loc ~rf:None ?site () in
       record_problems st problems;
       note_atomic st tid a;
       0
-    | newest :: _ ->
-      let can_succeed = newest.C11.Action.written_value = Some expected in
-      let fail_candidates =
-        List.filter (fun (w : C11.Action.t) -> w.written_value <> Some expected) candidates
+    end
+    else begin
+      (* Options, in the order the list-based implementation enumerated
+         them: success (iff the mo-maximal write matches [expected]),
+         then each non-matching candidate newest-first as a failure
+         read. Scanned over the window instead of materialized. *)
+      let matches (w : C11.Action.t) =
+        match w.written_value with Some v -> v = expected | None -> false
       in
-      let options =
-        (if can_succeed then [ `Success ] else []) @ List.map (fun w -> `Fail w) fail_candidates
-      in
-      let option = List.nth options (choose st (List.length options)) in
-      (match option with
-      | `Success ->
+      let can_succeed = matches (Execution.read_candidate st.exec ~loc 0) in
+      let nfail = ref 0 in
+      for i = 0 to n - 1 do
+        if not (matches (Execution.read_candidate st.exec ~loc i)) then incr nfail
+      done;
+      let k = choose st ((if can_succeed then 1 else 0) + !nfail) in
+      if can_succeed && k = 0 then begin
         let a, problems = Execution.commit_rmw st.exec ~tid ~mo ~loc ~value:desired ?site () in
         record_problems st problems;
         note_atomic st tid a;
         (match a.read_value with Some v -> v | None -> 0)
-      | `Fail w ->
+      end
+      else begin
+        let fk = if can_succeed then k - 1 else k in
+        let rec nth_fail i seen =
+          let w = Execution.read_candidate st.exec ~loc i in
+          if matches w then nth_fail (i + 1) seen
+          else if seen = fk then w
+          else nth_fail (i + 1) (seen + 1)
+        in
+        let w = nth_fail 0 0 in
         let a, problems = Execution.commit_load st.exec ~tid ~mo:fail_mo ~loc ~rf:(Some w) ?site () in
         record_problems st problems;
         note_atomic st tid a;
-        (match a.read_value with Some v -> v | None -> 0)))
+        (match a.read_value with Some v -> v | None -> 0)
+      end
+    end
   | Fetch_add { mo; loc; delta; site } ->
     (match Execution.rmw_candidate st.exec ~loc with
     | None ->
@@ -393,6 +472,39 @@ let is_invisible : Program.op -> bool = function
   | Program.Na_load _ | Na_store _ | Alloc _ | Spawn _ | Annotate _ | Check _ -> true
   | Load _ | Store _ | Cas _ | Fetch_add _ | Exchange _ | Fence _ | Join _ -> false
 
+(* The [Program.dispatch] hook: handle an operation inside the running
+   fiber, without suspending it, whenever the result does not need a
+   scheduling decision. Live runs commit invisible operations directly
+   (logging their values as [drain] would); replay feeds each thread the
+   logged values of *all* its operations, so a whole program prefix
+   re-runs without a single effect. [None] — a visible operation live,
+   or an exhausted value log under replay — performs the effect and
+   pauses the fiber at its pending operation as before. *)
+let make_hook st (op : Program.op) =
+  let tid = st.cur_tid in
+  if st.replaying then begin
+    let vs = st.values.(tid) in
+    let c = st.consumed.(tid) in
+    if c < Vec.length vs then begin
+      let v = Vec.get vs c in
+      st.consumed.(tid) <- c + 1;
+      (* A replayed Spawn re-registers its child's closure: every fiber
+         is rebuilt after a restore, so the registration is never
+         clobbering a live continuation. *)
+      (match op with
+      | Program.Spawn f -> st.threads.(v) <- Not_started f
+      | _ -> ());
+      Some v
+    end
+    else None
+  end
+  else if is_invisible op then begin
+    let v = exec_invisible st tid op in
+    Vec.push st.values.(tid) v;
+    Some v
+  end
+  else None
+
 let handler st tid =
   {
     Effect.Deep.retc =
@@ -423,6 +535,7 @@ let rec drain st tid =
   match get_status st tid with
   | Paused (op, k) when is_invisible op ->
     let v = exec_invisible st tid op in
+    Vec.push st.values.(tid) v;
     Effect.Deep.continue k v;
     drain st tid
   | Not_started _ | Paused _ | Finished -> ()
@@ -436,11 +549,13 @@ let start_thread st tid f =
    operation, then run it to its next visible operation. Returns the
    footprints of everything it committed. *)
 let step st tid =
+  st.cur_tid <- tid;
   st.step_footprints <- [];
   (match get_status st tid with
   | Not_started f -> start_thread st tid f
   | Paused (op, k) ->
     let v = exec_visible st tid op in
+    Vec.push st.values.(tid) v;
     Effect.Deep.continue k v;
     drain st tid
   | Finished -> invalid_arg "step: finished thread");
@@ -454,20 +569,6 @@ let is_enabled st tid =
     target < st.nthreads && (match get_status st target with Finished -> true | _ -> false)
   | Paused _ -> true
 
-let enabled_threads st =
-  let out = ref [] in
-  for tid = st.nthreads - 1 downto 0 do
-    if is_enabled st tid then out := tid :: !out
-  done;
-  !out
-
-let all_finished st =
-  let ok = ref true in
-  for tid = 0 to st.nthreads - 1 do
-    match get_status st tid with Finished -> () | _ -> ok := false
-  done;
-  !ok
-
 (* A sleeping thread stays asleep while every footprint of the committed
    step is independent of its pending operation. Threads without a known
    pending operation (not yet started) are conservatively woken. *)
@@ -478,7 +579,7 @@ let keep_asleep st footprints tid =
     List.for_all (fun g -> not (dependent g f)) footprints
   | Not_started _ | Finished -> false
 
-let run ?pick ?prune ~config ~trace main =
+let mk_state ?pick ?prune ~config ~trace main =
   let st =
     {
       config;
@@ -492,40 +593,315 @@ let run ?pick ?prune ~config ~trace main =
       annots = Vec.create ();
       bugs = [];
       last_atomic = Array.make 4 None;
-      op_counts = Hashtbl.create 64;
+      counters = counters_create ();
+      values = Array.init 4 (fun _ -> Vec.create ());
       step_footprints = [];
+      replaying = false;
+      cur_tid = 0;
+      consumed = [||];
+      hook = (fun _ -> None);
     }
   in
+  st.hook <- make_hook st;
   ignore (add_thread st (Not_started main));
-  let outcome =
-    try
-      let rec loop sleep =
-        if all_finished st then Complete
-        else
-          match enabled_threads st with
-          | [] ->
-            let blocked = ref [] in
-            for tid = st.nthreads - 1 downto 0 do
-              match get_status st tid with Finished -> () | _ -> blocked := tid :: !blocked
-            done;
-            st.bugs <- Bug.Deadlock { blocked_tids = !blocked } :: st.bugs;
-            Complete
-          | enabled ->
-            let avail = List.filter (fun t -> not (List.mem t sleep)) enabled in
-            if avail = [] then raise (Prune Pruned_sleep_set)
-            else begin
-              let tid, slept_siblings = choose_sched st sleep (Array.of_list avail) in
-              let footprints = step st tid in
-              let sleep =
-                if not config.sleep_sets then []
-                else
-                  List.filter (keep_asleep st footprints)
-                    (List.sort_uniq compare (slept_siblings @ sleep))
-              in
-              loop sleep
-            end
-      in
-      loop []
-    with Prune reason -> reason
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: copy-free snapshot/restore across a DFS exploration.
+
+   A session keeps one [state] (and one arena-backed [Execution.t])
+   alive across every run of the search. At each step that records
+   decisions it captures a snapshot — arena watermarks plus the few O(1)
+   or O(threads) scheduler scalars — indexed by trace position. After
+   the explorer backtracks, [session_run] restores the snapshot of the
+   bumped decision's step instead of re-running the program prefix:
+   the graph rewinds by arena truncation, scheduler scalars come back
+   from the snapshot, and only the program closures are re-run — in a
+   cheap replay mode that feeds each thread the values its operations
+   returned (logged during commit), skipping all graph work. *)
+
+type snapshot = {
+  s_mark : Execution.mark;
+  s_nthreads : int;
+  s_stat : int array;  (* 0 = not started, 1 = paused, 2 = finished *)
+  s_vcount : int array;  (* values consumed per thread *)
+  s_sleep : int;  (* sleep mask at the step's start *)
+  s_bugs : Bug.t list;
+  s_nannots : int;
+  s_last_atomic : int option array;
+  s_opc : int;  (* counter-journal length *)
+}
+
+type session = {
+  st : state;
+  main : unit -> unit;
+  mutable started : bool;
+  snaps : snapshot Vec.t;  (* parallel to trace indices *)
+  mutable n_snapshots : int;
+  mutable n_restores : int;
+}
+
+let capture st sleep =
+  {
+    s_mark = Execution.mark st.exec;
+    s_nthreads = st.nthreads;
+    s_stat =
+      Array.init st.nthreads (fun i ->
+          match st.threads.(i) with Not_started _ -> 0 | Paused _ -> 1 | Finished -> 2);
+    s_vcount = Array.init st.nthreads (fun i -> Vec.length st.values.(i));
+    s_sleep = sleep;
+    s_bugs = st.bugs;
+    s_nannots = Vec.length st.annots;
+    s_last_atomic = Array.sub st.last_atomic 0 st.nthreads;
+    s_opc = Vec.length st.counters.cj;
+  }
+
+(* Rebuild the thread fibers a restored snapshot needs, feeding each
+   re-run closure the logged values (truncated to the snapshot's
+   consumption counts) and leaving it paused at its pending operation —
+   or finished, when the snapshot had it finished. No graph or
+   bookkeeping work happens here: the graph was rewound by
+   [Execution.restore] and the scheduler scalars come from the snapshot.
+
+   Every thread that had started by the snapshot replays from scratch —
+   even one whose live fiber happens to still sit at exactly the
+   snapshot position. Partial replay is unsound for side effects: user
+   closures are free to touch mutable state shared across threads (the
+   canonical pattern is a main closure that resets a per-thread
+   observation buffer each execution, which spawned closures then
+   append to), and re-executing some closures' effects but not others
+   tears that state in ways a fresh run never would. A full replay
+   re-executes every effect in a spawn-tree-compatible order, exactly
+   like the fresh run the legacy engine does — just without performing
+   a single scheduling effect or graph commit. Threads the snapshot has
+   as not-yet-started only need their closure re-registered, which
+   their parent's replayed Spawn does; a spawned child always has a
+   higher tid than its parent, so driving threads in tid order
+   guarantees each child's closure is registered before its own
+   turn. *)
+let replay_threads st main (snap : snapshot) =
+  let n = snap.s_nthreads in
+  (* need_run: the closure re-executes (replayed to its snapshot
+     position, or to completion for finished threads, re-emitting
+     Spawns as it goes). Not-started threads are merely re-registered
+     by their parent. *)
+  let need_run = Array.make n false in
+  for tid = 0 to n - 1 do
+    need_run.(tid) <- snap.s_stat.(tid) <> 0
+  done;
+  (* every fiber is stale (threads spawned after the snapshot are
+     simply gone); parents re-register their children *)
+  for tid = 0 to Array.length st.threads - 1 do
+    st.threads.(tid) <- Finished
+  done;
+  st.threads.(0) <- Not_started main;
+  st.consumed <- Array.make n 0;
+  (* Value feeding happens in the dispatch hook (no effect per replayed
+     operation); a perform only reaches this handler when the thread's
+     log is exhausted — i.e. at the visible operation it was paused at
+     when the snapshot was taken. The handler stays installed on the
+     rebuilt fiber for the rest of its life, so retc/exnc must carry
+     both behaviours: while [st.replaying] they commit nothing (the
+     restored graph already holds those actions); afterwards — when the
+     scheduler resumes the fiber live — they are byte-for-byte the
+     normal [handler]. *)
+  let replay_handler tid =
+    {
+      Effect.Deep.retc =
+        (fun () ->
+          if not st.replaying then ignore (Execution.commit_finish st.exec ~tid);
+          set_status st tid Finished);
+      exnc =
+        (fun e ->
+          if st.replaying then set_status st tid Finished
+          else begin
+            match e with
+            | Prune _ -> raise e
+            | _ ->
+              st.bugs <-
+                Bug.Assertion_failure
+                  { tid; message = "uncaught exception: " ^ Printexc.to_string e }
+                :: st.bugs;
+              ignore (Execution.commit_finish st.exec ~tid);
+              set_status st tid Finished
+          end);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Program.Do op ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) -> set_status st tid (Paused (op, k)))
+          | _ -> None);
+    }
   in
+  let disp = Domain.DLS.get Program.dispatch in
+  let saved = !disp in
+  disp := Some st.hook;
+  st.replaying <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      st.replaying <- false;
+      disp := saved)
+    (fun () ->
+      for tid = 0 to n - 1 do
+        if need_run.(tid) then begin
+          match st.threads.(tid) with
+          | Not_started f ->
+            st.cur_tid <- tid;
+            Effect.Deep.match_with f () (replay_handler tid)
+          | _ -> assert false
+        end
+      done)
+
+let restore_to s (snap : snapshot) =
+  let st = s.st in
+  Execution.restore st.exec snap.s_mark;
+  let cj = st.counters.cj in
+  while Vec.length cj > snap.s_opc do
+    decr (Vec.pop cj)
+  done;
+  st.bugs <- snap.s_bugs;
+  Vec.truncate st.annots snap.s_nannots;
+  st.nthreads <- snap.s_nthreads;
+  Array.blit snap.s_last_atomic 0 st.last_atomic 0 snap.s_nthreads;
+  for i = snap.s_nthreads to Array.length st.last_atomic - 1 do
+    st.last_atomic.(i) <- None
+  done;
+  for i = 0 to Array.length st.values - 1 do
+    Vec.truncate st.values.(i) (if i < snap.s_nthreads then snap.s_vcount.(i) else 0)
+  done;
+  replay_threads st s.main snap
+
+(* The search loop shared by [run] (fresh state every call) and
+   [session_run] (persistent state, snapshot recording). Snapshots are
+   captured at step start and attached to every decision index the step
+   records or consumes — including when the step aborts with [Prune], so
+   a later backtrack to one of its decisions can still restore. *)
+let run_loop ?session st sleep0 =
+  let disp = Domain.DLS.get Program.dispatch in
+  let saved = !disp in
+  disp := Some st.hook;
+  let record_snaps c0 snap =
+    match session, snap with
+    | Some s, Some sn ->
+      for i = c0 to st.cursor - 1 do
+        if i < Vec.length s.snaps then Vec.set s.snaps i sn
+        else begin
+          assert (i = Vec.length s.snaps);
+          Vec.push s.snaps sn
+        end
+      done
+    | _ -> ()
+  in
+  let rec loop sleep =
+    (* One scan classifies every thread: finished, enabled, and (enabled
+       and not asleep) available — no list is built on this path. *)
+    let all_fin = ref true and nen = ref 0 and nav = ref 0 and first_av = ref (-1) and avail = ref 0 in
+    for tid = 0 to st.nthreads - 1 do
+      (match st.threads.(tid) with Finished -> () | _ -> all_fin := false);
+      if is_enabled st tid then begin
+        incr nen;
+        if sleep land (1 lsl tid) = 0 then begin
+          avail := !avail lor (1 lsl tid);
+          incr nav;
+          if !first_av < 0 then first_av := tid
+        end
+      end
+    done;
+    if !all_fin then Complete
+    else if !nen = 0 then begin
+      let blocked = ref [] in
+      for tid = st.nthreads - 1 downto 0 do
+        match get_status st tid with Finished -> () | _ -> blocked := tid :: !blocked
+      done;
+      st.bugs <- Bug.Deadlock { blocked_tids = !blocked } :: st.bugs;
+      Complete
+    end
+    else if !nav = 0 then raise (Prune Pruned_sleep_set)
+    else begin
+      let c0 = st.cursor in
+      let snap =
+        match session with
+        | Some s ->
+          s.n_snapshots <- s.n_snapshots + 1;
+          Some (capture st sleep)
+        | None -> None
+      in
+      let slept_mask, footprints =
+        try
+          let tid, slept =
+            if !nav = 1 then (!first_av, 0)
+            else choose_sched st ~sleep ~avail:!avail ~nav:!nav
+          in
+          (slept, step st tid)
+        with e ->
+          record_snaps c0 snap;
+          raise e
+      in
+      record_snaps c0 snap;
+      let sleep =
+        if not st.config.sleep_sets then 0
+        else begin
+          let m = sleep lor slept_mask in
+          let out = ref 0 in
+          for tid = 0 to st.nthreads - 1 do
+            if m land (1 lsl tid) <> 0 && keep_asleep st footprints tid then
+              out := !out lor (1 lsl tid)
+          done;
+          !out
+        end
+      in
+      loop sleep
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> disp := saved)
+    (fun () -> try loop sleep0 with Prune reason -> reason)
+
+let mk_result st outcome =
   { exec = st.exec; annots = Vec.to_list st.annots; bugs = List.rev st.bugs; outcome }
+
+let run ?pick ?prune ~config ~trace main =
+  let st = mk_state ?pick ?prune ~config ~trace main in
+  mk_result st (run_loop st 0)
+
+let session_create ?prune ~config ~trace main =
+  {
+    st = mk_state ?prune ~config ~trace main;
+    main;
+    started = false;
+    snaps = Vec.create ();
+    n_snapshots = 0;
+    n_restores = 0;
+  }
+
+let session_run s =
+  let st = s.st in
+  if not s.started then begin
+    s.started <- true;
+    mk_result st (run_loop ~session:s st 0)
+  end
+  else begin
+    (* The explorer's backtrack leaves the bumped decision last in the
+       trace; its step-start snapshot is the restore point. Decisions of
+       one step share their snapshot physically, so the first decision
+       index of that step — where the cursor must resume so the step's
+       earlier (unchanged) decisions replay through the normal commit
+       path — is found by walking [==]-equal snapshots backwards. *)
+    let l = Vec.length st.trace in
+    assert (l > 0 && l <= Vec.length s.snaps);
+    Vec.truncate s.snaps l;
+    let snap = Vec.get s.snaps (l - 1) in
+    let first = ref (l - 1) in
+    while !first > 0 && Vec.get s.snaps (!first - 1) == snap do
+      decr first
+    done;
+    restore_to s snap;
+    st.cursor <- !first;
+    s.n_restores <- s.n_restores + 1;
+    mk_result st (run_loop ~session:s st snap.s_sleep)
+  end
+
+let session_counters s = (s.n_snapshots, s.n_restores)
+
+let session_exec s = s.st.exec

@@ -108,3 +108,50 @@ val run :
   trace:decision C11.Vec.t ->
   (unit -> unit) ->
   run_result
+
+(** {1 Sessions}
+
+    A session runs a whole DFS exploration over one persistent state and
+    one arena-backed execution graph. Where {!run} rebuilds everything
+    from action zero on every call, {!session_run} restores the
+    snapshot captured at the bumped decision's step: the graph rewinds by
+    arena-watermark truncation ({!C11.Execution.restore}), scheduler
+    scalars come back from O(threads)-sized saved copies, and only the
+    program closures are re-run — in a replay mode that feeds each
+    thread the logged values its operations returned, skipping all graph
+    work (OCaml effect continuations are one-shot, so closures cannot be
+    resumed twice; replaying their values is what makes restore sound,
+    by the same determinism contract that underpins trace replay).
+
+    Sessions follow the DFS explorer's backtracking contract: between
+    two [session_run] calls the caller must have advanced the trace with
+    {!Explorer.backtrack} semantics — trailing decisions popped, the now-
+    last decision's [chosen] bumped, nothing before it touched.
+
+    The [run_result.exec] a session returns is the session's single
+    arena: it is valid until the next [session_run] and must be copied
+    ({!C11.Execution.copy}) to be retained beyond that. *)
+
+type session
+
+(** [session_create ?prune ~config ~trace main]: [prune] and [config] as
+    in {!run} ([pick] is meaningless under DFS sessions). A non-empty
+    [trace] (a donated work-item prefix) replays through the normal
+    commit path on the first run. *)
+val session_create :
+  ?prune:(prune_key -> bool) ->
+  config:config ->
+  trace:decision C11.Vec.t ->
+  (unit -> unit) ->
+  session
+
+(** Run the next execution of the search: the first call runs the trace
+    from scratch; later calls restore to the backtracked trace's last
+    decision and continue from there. *)
+val session_run : session -> run_result
+
+(** [(snapshots, restores)] taken/performed so far. *)
+val session_counters : session -> int * int
+
+(** The session's arena graph (same object every run). *)
+val session_exec : session -> C11.Execution.t

@@ -1,0 +1,270 @@
+(* Differential oracle for the arena engine: the copy-free
+   snapshot/restore scheduler sessions must be observably identical to
+   the legacy fresh-run-per-execution engine — same stats, same graph
+   sets, same bug lists, same first buggy traces — over every registry
+   structure, serially and under work-stealing parallelism, with and
+   without equivalence pruning. Plus direct unit tests of the arena
+   watermark snapshot/restore machinery. *)
+
+module E = Mc.Explorer
+module S = Mc.Scheduler
+module P = Mc.Program
+module B = Structures.Benchmark
+
+let find name =
+  match Structures.Registry.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "unknown benchmark %s" name
+
+(* Everything in [stats] that must agree between engines: wall-clock,
+   allocation and snapshot counters are engine-specific by design. *)
+let stats_key (s : E.stats) =
+  [
+    s.explored;
+    s.feasible;
+    s.pruned_loop_bound;
+    s.pruned_max_actions;
+    s.pruned_sleep_set;
+    s.pruned_equiv;
+    s.distinct_graphs;
+    s.buggy;
+    (if s.truncated then 1 else 0);
+  ]
+
+let run_bench ~engine ~prune ~jobs ~cap (b : B.t) (t : B.test) =
+  E.(
+    Mc.Parallel.explore ~jobs
+      ~config:
+        { default_config with scheduler = b.scheduler; engine; prune; max_executions = cap }
+      (t.program (Structures.Ords.default b.sites)))
+
+let check_identical name (a : E.result) (l : E.result) =
+  Alcotest.(check (list int)) (name ^ ": stats") (stats_key l.stats) (stats_key a.stats);
+  Alcotest.(check bool) (name ^ ": graph set") true (a.graphs = l.graphs);
+  Alcotest.(check (list string))
+    (name ^ ": bug keys")
+    (List.map Mc.Bug.key l.bugs)
+    (List.map Mc.Bug.key a.bugs);
+  Alcotest.(check (option string)) (name ^ ": first trace") l.first_buggy_trace a.first_buggy_trace
+
+(* Serial sweep: every exhaustive registry structure, both prune modes.
+   The cap keeps the suite fast; serial DFS truncates deterministically,
+   so capped rows still compare byte-for-byte. *)
+let test_serial_differential () =
+  List.iter
+    (fun (b : B.t) ->
+      List.iter
+        (fun (t : B.test) ->
+          List.iter
+            (fun prune ->
+              let name = Printf.sprintf "%s/%s prune=%b" b.name t.test_name prune in
+              let a = run_bench ~engine:`Arena ~prune ~jobs:1 ~cap:(Some 10_000) b t in
+              let l = run_bench ~engine:`Legacy ~prune ~jobs:1 ~cap:(Some 10_000) b t in
+              check_identical name a l)
+            [ true; false ])
+        b.tests)
+    Structures.Registry.exhaustive
+
+(* Work-stealing parallelism: uncapped (a shared execution budget
+   truncates at a scheduling-dependent point), so only each structure's
+   first unit test — small enough to exhaust — is swept. With pruning
+   the explored/pruned counters legitimately vary with donation timing,
+   so only the order-independent outputs are compared. *)
+let test_parallel_differential () =
+  List.iter
+    (fun name ->
+      let b = find name in
+      let t = List.hd b.tests in
+      let a = run_bench ~engine:`Arena ~prune:false ~jobs:2 ~cap:None b t in
+      let l = run_bench ~engine:`Legacy ~prune:false ~jobs:2 ~cap:None b t in
+      check_identical (name ^ "/" ^ t.test_name ^ " -j2") a l;
+      let a = run_bench ~engine:`Arena ~prune:true ~jobs:2 ~cap:None b t in
+      let l = run_bench ~engine:`Legacy ~prune:true ~jobs:2 ~cap:None b t in
+      let n = name ^ "/" ^ t.test_name ^ " -j2 pruned" in
+      Alcotest.(check bool) (n ^ ": graph set") true (a.graphs = l.graphs);
+      Alcotest.(check (list string))
+        (n ^ ": bug keys")
+        (List.map Mc.Bug.key l.bugs)
+        (List.map Mc.Bug.key a.bugs);
+      Alcotest.(check (option string)) (n ^ ": first trace") l.first_buggy_trace
+        a.first_buggy_trace)
+    [ "Lazy Init"; "Seqlock"; "Treiber Stack" ]
+
+(* Same seed, same campaign: the fuzzer rides the same commit path as
+   the engines (direct-dispatch hook included), so a seeded campaign
+   must be reproducible down to the minimized reproducer traces. *)
+let test_fuzz_deterministic () =
+  let b = find "Seqlock" in
+  let t = List.hd b.tests in
+  let campaign () =
+    Fuzz.Engine.run
+      ~config:
+        {
+          Fuzz.Engine.default_config with
+          scheduler = { b.scheduler with S.sleep_sets = false };
+          max_executions = Some 2_000;
+        }
+      ~seed:42
+      (t.program (Structures.Ords.default b.sites))
+  in
+  let r1 = campaign () and r2 = campaign () in
+  Alcotest.(check int) "executions" r1.stats.executions r2.stats.executions;
+  Alcotest.(check int) "feasible" r1.stats.feasible r2.stats.feasible;
+  Alcotest.(check int) "coverage" r1.stats.coverage r2.stats.coverage;
+  Alcotest.(check (list string))
+    "found bugs"
+    (List.map (fun (f : Fuzz.Engine.found) -> Mc.Bug.key f.bug) r1.found)
+    (List.map (fun (f : Fuzz.Engine.found) -> Mc.Bug.key f.bug) r2.found);
+  Alcotest.(check (list string))
+    "reproducer traces"
+    (List.map (fun (f : Fuzz.Engine.found) -> Fuzz.Engine.trace_to_string f.minimized) r1.found)
+    (List.map (fun (f : Fuzz.Engine.found) -> Fuzz.Engine.trace_to_string f.minimized) r2.found)
+
+(* Direct watermark unit test: mark, commit past it, restore, and the
+   arena is back — lengths and fingerprint — including across nested
+   (stacked) marks restored out of order. *)
+let test_watermark_nested () =
+  let exec = C11.Execution.create () in
+  let commit_pair tid loc v =
+    ignore (C11.Execution.commit_store exec ~tid ~mo:C11.Memory_order.Relaxed ~loc ~value:v ());
+    ignore (C11.Execution.commit_load exec ~tid ~mo:C11.Memory_order.Relaxed ~loc ~rf:None ())
+  in
+  ignore (C11.Execution.commit_start exec ~tid:0);
+  commit_pair 0 1 10;
+  let m1 = C11.Execution.mark exec in
+  let n1 = C11.Execution.num_actions exec in
+  let fp1 = C11.Execution.fingerprint exec in
+  commit_pair 0 2 20;
+  let m2 = C11.Execution.mark exec in
+  let n2 = C11.Execution.num_actions exec in
+  let fp2 = C11.Execution.fingerprint exec in
+  commit_pair 0 3 30;
+  Alcotest.(check bool) "grew past m2" true (C11.Execution.num_actions exec > n2);
+  (* inner restore first *)
+  C11.Execution.restore exec m2;
+  Alcotest.(check int) "m2 length" n2 (C11.Execution.num_actions exec);
+  Alcotest.(check int64) "m2 fingerprint" fp2 (C11.Execution.fingerprint exec);
+  (* re-grow along a different branch, then rewind all the way to m1 *)
+  commit_pair 0 4 40;
+  C11.Execution.restore exec m1;
+  Alcotest.(check int) "m1 length" n1 (C11.Execution.num_actions exec);
+  Alcotest.(check int64) "m1 fingerprint" fp1 (C11.Execution.fingerprint exec);
+  (* the rewound graph is still a live arena: committing works *)
+  commit_pair 0 5 50;
+  Alcotest.(check int) "regrew" (n1 + 2) (C11.Execution.num_actions exec)
+
+(* Regression: after a restore, *every* thread must re-execute its side
+   effects — including one that had already finished by the snapshot.
+   User closures may share mutable state that the main closure resets
+   each execution (the SC-oracle observation pattern below); preserving
+   any fiber across a restore wipes its recorded observations without
+   re-applying them. This program has exactly one outcome (every CAS
+   fails: nothing ever stores 1 first), but a partial replay reports
+   phantom outcomes with torn observation lists. *)
+let test_side_effect_replay () =
+  let module OS = Set.Make (struct
+    type t = int list
+
+    let compare = compare
+  end) in
+  let observations = Array.make 3 [] in
+  let program () =
+    let l = P.malloc ~init:0 1 in
+    Array.fill observations 0 3 [];
+    let record i v = observations.(i) <- observations.(i) @ [ v ] in
+    let t0 =
+      P.spawn (fun () ->
+          record 0 (if P.cas Seq_cst l ~expected:1 ~desired:2 then 1 else 0);
+          record 0 (P.load Seq_cst l))
+    in
+    (* finishes after a single load — the fiber a partial replay keeps *)
+    let t1 = P.spawn (fun () -> record 1 (P.load Seq_cst l)) in
+    let t2 =
+      P.spawn (fun () ->
+          record 2 (P.load Seq_cst l);
+          record 2 (if P.cas Seq_cst l ~expected:1 ~desired:2 then 1 else 0);
+          record 2 (if P.cas Seq_cst l ~expected:2 ~desired:1 then 1 else 0))
+    in
+    P.join t0;
+    P.join t1;
+    P.join t2
+  in
+  let outcomes engine =
+    let o = ref OS.empty in
+    ignore
+      (E.explore
+         ~config:{ E.default_config with engine }
+         ~on_feasible:(fun _ _ ->
+           o := OS.add (List.concat (Array.to_list observations)) !o;
+           [])
+         program);
+    !o
+  in
+  let a = outcomes `Arena and l = outcomes `Legacy in
+  Alcotest.(check int) "single outcome" 1 (OS.cardinal a);
+  Alcotest.(check bool) "matches legacy" true (OS.equal a l)
+
+(* Session-level snapshot/restore: drive a session through a full DFS by
+   hand (the explorer's backtracking contract) and check that every
+   execution matches a fresh legacy run of the same trace, that restores
+   happen, and that the arena rewinds rather than accumulates. *)
+let test_session_restore () =
+  let program () =
+    let l = P.malloc ~init:0 1 in
+    let t1 = P.spawn (fun () -> P.store Relaxed l 1) in
+    let t2 = P.spawn (fun () -> ignore (P.load Relaxed l)) in
+    P.join t1;
+    P.join t2
+  in
+  let config = { S.default_config with sleep_sets = false } in
+  let trace = C11.Vec.create () in
+  let session = S.session_create ~config ~trace program in
+  let arena = S.session_exec session in
+  let fps = ref [] in
+  let lens = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let r = S.session_run session in
+    Alcotest.(check bool) "complete" true (r.outcome = S.Complete);
+    Alcotest.(check bool) "bug-free" true (r.bugs = []);
+    fps := C11.Execution.fingerprint r.exec :: !fps;
+    lens := C11.Execution.num_actions r.exec :: !lens;
+    (* the result's graph is the session's single arena *)
+    Alcotest.(check bool) "arena identity" true (r.exec == arena);
+    if not (E.backtrack trace) then continue_ := false
+  done;
+  let snapshots, restores = S.session_counters session in
+  Alcotest.(check bool) "took snapshots" true (snapshots > 0);
+  Alcotest.(check int) "one restore per re-run" (List.length !fps - 1) restores;
+  (* every execution of this program commits the same number of actions:
+     if restore failed to truncate the arena the lengths would climb *)
+  (match !lens with
+  | [] -> Alcotest.fail "no executions"
+  | n :: rest -> List.iter (Alcotest.(check int) "arena rewound between runs" n) rest);
+  (* same DFS with the legacy engine: same graphs in the same order *)
+  let legacy_trace = C11.Vec.create () in
+  let legacy_fps = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let r = S.run ~config ~trace:legacy_trace program in
+    legacy_fps := C11.Execution.fingerprint r.exec :: !legacy_fps;
+    if not (E.backtrack legacy_trace) then continue_ := false
+  done;
+  Alcotest.(check bool) "graphs match legacy" true (!fps = !legacy_fps)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "exhaustive registry, serial" `Quick test_serial_differential;
+          Alcotest.test_case "work stealing -j2" `Quick test_parallel_differential;
+          Alcotest.test_case "seeded fuzz campaign" `Quick test_fuzz_deterministic;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "nested watermarks" `Quick test_watermark_nested;
+          Alcotest.test_case "side-effect replay" `Quick test_side_effect_replay;
+          Alcotest.test_case "session restore" `Quick test_session_restore;
+        ] );
+    ]
