@@ -15,6 +15,9 @@
      bench/main.exe explore    equivalence pruning + work stealing; writes BENCH_PR5.json
      bench/main.exe replay     arena engine vs legacy re-execution; writes BENCH_PR6.json
                                (--smoke: capped CI subset; hard-fails on any divergence)
+     bench/main.exe serve      persistent store cold-vs-warm + serve daemon throughput;
+                               writes BENCH_PR7.json (--smoke: capped CI subset;
+                               hard-fails on any cold/warm verdict divergence)
 
    `--jobs N` (or CDSSPEC_JOBS=N) runs every exploration on N domains;
    0 means one per recommended core. The timing job records the jobs
@@ -78,8 +81,29 @@ let metadata_json () =
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
   in
   let host = try Unix.gethostname () with _ -> "unknown" in
-  Printf.sprintf "\"rev\": %S,\n  \"date\": %S,\n  \"host\": %S,\n  \"cores\": %d" rev date host
+  Printf.sprintf "\"rev\": %S,\n  \"date\": %S,\n  \"host\": %S,\n  \"cores\": %d,\n  \
+                  \"engine_rev\": %S"
+    rev date host
     (Domain.recommended_domain_count ())
+    Mc.Engine_rev.current
+
+(* Every BENCH_*.json emitter shares this skeleton: the
+   CDSSPEC_BENCH_OUT path override, the provenance header above
+   (engine_rev is [Mc.Engine_rev.current] — the same constant whose
+   change flushes the persistent store, so a trajectory file and a store
+   directory are attributable to the same engine), and the trailing
+   "wrote ..." line. [body] emits everything between the header and the
+   closing brace, ending after its last array's "  ]\n". *)
+let write_bench_file ~default ~pr ?(note = "") body =
+  let path =
+    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> default
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  %s,\n  \"pr\": %d,\n" (metadata_json ()) pr;
+  body oc;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "@.wrote %s%s@." path note
 
 (* Set once from --jobs/CDSSPEC_JOBS before any job runs. *)
 let jobs = ref 1
@@ -230,25 +254,21 @@ let time_one (b : B.t) =
 let bench_json_file = "BENCH_PR1.json"
 
 let write_bench_json rows =
-  let path =
-    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> bench_json_file
-  in
-  let oc = open_out path in
   let total = List.fold_left (fun acc r -> acc +. r.wall_s) 0. rows in
-  Printf.fprintf oc
-    "{\n  %s,\n  \"pr\": 1,\n  \"jobs\": %d,\n  \"total_wall_s\": %.3f,\n  \"benchmarks\": [\n"
-    (metadata_json ()) !jobs total;
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"name\": %S, \"test\": %S, \"wall_s\": %.4f, \"explored\": %d, \"feasible\": %d, \
-         \"execs_per_sec\": %.1f}%s\n"
-        r.bench r.test r.wall_s r.explored r.feasible r.execs_per_sec
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.printf "@.wrote %s (jobs=%d)@." path !jobs
+  write_bench_file ~default:bench_json_file ~pr:1
+    ~note:(Printf.sprintf " (jobs=%d)" !jobs)
+    (fun oc ->
+      Printf.fprintf oc "  \"jobs\": %d,\n  \"total_wall_s\": %.3f,\n  \"benchmarks\": [\n" !jobs
+        total;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"test\": %S, \"wall_s\": %.4f, \"explored\": %d, \"feasible\": \
+             %d, \"execs_per_sec\": %.1f}%s\n"
+            r.bench r.test r.wall_s r.explored r.feasible r.execs_per_sec
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n")
 
 let run_timing () =
   section
@@ -359,39 +379,35 @@ let fuzz_throughput_case (b : B.t) ~max_execs =
   }
 
 let write_fuzz_json buggy throughput =
-  let path =
-    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> fuzz_json_file
-  in
-  let oc = open_out path in
   let opt_f = function None -> "null" | Some v -> Printf.sprintf "%.4f" v in
   let opt_i = function None -> "null" | Some v -> string_of_int v in
-  Printf.fprintf oc "{\n  %s,\n  \"pr\": 2,\n  \"jobs\": %d,\n  \"seed\": %d,\n  \"bias\": %S,\n"
-    (metadata_json ()) !jobs fuzz_seed
-    (Fuzz.Bias.to_string Fuzz.Engine.default_config.bias);
-  Printf.fprintf oc "  \"time_to_first_bug\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"workload\": %S, \"fuzz_ttfb_s\": %s, \"fuzz_exec_index\": %s, \"fuzz_wall_s\": \
-         %.4f, \"exhaustive_wall_s\": %.4f, \"exhaustive_explored\": %d, \"exhaustive_found\": \
-         %b}%s\n"
-        r.fbr_workload (opt_f r.fbr_ttfb) (opt_i r.fbr_exec_index) r.fbr_fuzz_time r.fbr_exh_time
-        r.fbr_exh_explored r.fbr_exh_found
-        (if i = List.length buggy - 1 then "" else ","))
-    buggy;
-  Printf.fprintf oc "  ],\n  \"throughput\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"workload\": %S, \"execs\": %d, \"feasible\": %d, \"coverage\": %d, \"bugs\": %d, \
-         \"execs_per_sec\": %.1f, \"exhaustive_execs_per_sec\": %.1f}%s\n"
-        r.ftr_workload r.ftr_execs r.ftr_feasible r.ftr_coverage r.ftr_bugs r.ftr_eps
-        r.ftr_exh_eps
-        (if i = List.length throughput - 1 then "" else ","))
-    throughput;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.printf "@.wrote %s (jobs=%d)@." path !jobs
+  write_bench_file ~default:fuzz_json_file ~pr:2
+    ~note:(Printf.sprintf " (jobs=%d)" !jobs)
+    (fun oc ->
+      Printf.fprintf oc "  \"jobs\": %d,\n  \"seed\": %d,\n  \"bias\": %S,\n" !jobs fuzz_seed
+        (Fuzz.Bias.to_string Fuzz.Engine.default_config.bias);
+      Printf.fprintf oc "  \"time_to_first_bug\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"fuzz_ttfb_s\": %s, \"fuzz_exec_index\": %s, \
+             \"fuzz_wall_s\": %.4f, \"exhaustive_wall_s\": %.4f, \"exhaustive_explored\": %d, \
+             \"exhaustive_found\": %b}%s\n"
+            r.fbr_workload (opt_f r.fbr_ttfb) (opt_i r.fbr_exec_index) r.fbr_fuzz_time
+            r.fbr_exh_time r.fbr_exh_explored r.fbr_exh_found
+            (if i = List.length buggy - 1 then "" else ","))
+        buggy;
+      Printf.fprintf oc "  ],\n  \"throughput\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"execs\": %d, \"feasible\": %d, \"coverage\": %d, \"bugs\": \
+             %d, \"execs_per_sec\": %.1f, \"exhaustive_execs_per_sec\": %.1f}%s\n"
+            r.ftr_workload r.ftr_execs r.ftr_feasible r.ftr_coverage r.ftr_bugs r.ftr_eps
+            r.ftr_exh_eps
+            (if i = List.length throughput - 1 then "" else ","))
+        throughput;
+      Printf.fprintf oc "  ]\n")
 
 let run_fuzz () =
   section (Printf.sprintf "Fuzz: randomized vs exhaustive exploration (seed=%d)" fuzz_seed);
@@ -506,29 +522,26 @@ let lint_one (b : B.t) =
   }
 
 let write_lint_json rows =
-  let path =
-    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> lint_json_file
-  in
-  let oc = open_out path in
   let total = List.fold_left (fun acc r -> acc +. r.lr_advisor_wall_s) 0. rows in
-  Printf.fprintf oc
-    "{\n  %s,\n  \"pr\": 3,\n  \"jobs\": %d,\n  \"max_executions\": %d,\n  \
-     \"total_advisor_wall_s\": %.3f,\n  \"structures\": [\n"
-    (metadata_json ()) !jobs lint_max_execs total;
-  List.iteri
-    (fun i r ->
+  write_bench_file ~default:lint_json_file ~pr:3
+    ~note:(Printf.sprintf " (jobs=%d)" !jobs)
+    (fun oc ->
       Printf.fprintf oc
-        "    {\"name\": %S, \"lint_findings\": %d, \"baseline_wall_s\": %.4f, \
-         \"advisor_wall_s\": %.4f, \"candidates\": %d, \"safe_to_weaken\": %d, \
-         \"behaviour_changing\": %d, \"spec_violating\": %d, \"lint_agreements\": %d, \
-         \"lint_disagreements\": %d}%s\n"
-        r.lr_bench r.lr_findings r.lr_baseline_wall_s r.lr_advisor_wall_s r.lr_candidates
-        r.lr_safe r.lr_changing r.lr_violating r.lr_agree r.lr_disagree
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.printf "@.wrote %s (jobs=%d)@." path !jobs
+        "  \"jobs\": %d,\n  \"max_executions\": %d,\n  \"total_advisor_wall_s\": %.3f,\n  \
+         \"structures\": [\n"
+        !jobs lint_max_execs total;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"lint_findings\": %d, \"baseline_wall_s\": %.4f, \
+             \"advisor_wall_s\": %.4f, \"candidates\": %d, \"safe_to_weaken\": %d, \
+             \"behaviour_changing\": %d, \"spec_violating\": %d, \"lint_agreements\": %d, \
+             \"lint_disagreements\": %d}%s\n"
+            r.lr_bench r.lr_findings r.lr_baseline_wall_s r.lr_advisor_wall_s r.lr_candidates
+            r.lr_safe r.lr_changing r.lr_violating r.lr_agree r.lr_disagree
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n")
 
 let run_lint () =
   section
@@ -720,38 +733,35 @@ let median l =
     else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
 
 let write_check_cache_json rows =
-  let path =
-    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> check_cache_json_file
-  in
-  let oc = open_out path in
   let heavy = List.filter (fun r -> r.cc_heavy) rows in
-  Printf.fprintf oc
-    "{\n  %s,\n  \"pr\": 4,\n  \"jobs\": %d,\n  \"smoke\": %b,\n  \"median_speedup\": %.2f,\n  \
-     \"median_speedup_history_heavy\": %.2f,\n  \"entries\": [\n"
-    (metadata_json ()) !jobs !smoke
-    (median (List.map (fun r -> r.cc_speedup) rows))
-    (median (List.map (fun r -> r.cc_speedup) heavy));
-  List.iteri
-    (fun i r ->
-      let hit_rate =
-        if r.cc_hits + r.cc_misses > 0 then
-          float_of_int r.cc_hits /. float_of_int (r.cc_hits + r.cc_misses)
-        else 0.
-      in
+  write_bench_file ~default:check_cache_json_file ~pr:4
+    ~note:(Printf.sprintf " (jobs=%d%s)" !jobs (if !smoke then ", smoke" else ""))
+    (fun oc ->
       Printf.fprintf oc
-        "    {\"workload\": %S, \"history_heavy\": %b, \"max_executions\": %s, \"explored\": %d, \
-         \"feasible\": %d, \"wall_cache_on_s\": %.4f, \"wall_cache_off_s\": %.4f, \"speedup\": \
-         %.2f, \"cache_hits\": %d, \"cache_misses\": %d, \"cache_entries\": %d, \"hit_rate\": \
-         %.3f, \"histories_truncated\": %d, \"prefixes_truncated\": %d}%s\n"
-        r.cc_workload r.cc_heavy
-        (match r.cc_max_execs with None -> "null" | Some m -> string_of_int m)
-        r.cc_explored r.cc_feasible r.cc_wall_on_s r.cc_wall_off_s r.cc_speedup r.cc_hits
-        r.cc_misses r.cc_entries hit_rate r.cc_hist_trunc r.cc_pref_trunc
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.printf "@.wrote %s (jobs=%d%s)@." path !jobs (if !smoke then ", smoke" else "")
+        "  \"jobs\": %d,\n  \"smoke\": %b,\n  \"median_speedup\": %.2f,\n  \
+         \"median_speedup_history_heavy\": %.2f,\n  \"entries\": [\n"
+        !jobs !smoke
+        (median (List.map (fun r -> r.cc_speedup) rows))
+        (median (List.map (fun r -> r.cc_speedup) heavy));
+      List.iteri
+        (fun i r ->
+          let hit_rate =
+            if r.cc_hits + r.cc_misses > 0 then
+              float_of_int r.cc_hits /. float_of_int (r.cc_hits + r.cc_misses)
+            else 0.
+          in
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"history_heavy\": %b, \"max_executions\": %s, \"explored\": \
+             %d, \"feasible\": %d, \"wall_cache_on_s\": %.4f, \"wall_cache_off_s\": %.4f, \
+             \"speedup\": %.2f, \"cache_hits\": %d, \"cache_misses\": %d, \"cache_entries\": %d, \
+             \"hit_rate\": %.3f, \"histories_truncated\": %d, \"prefixes_truncated\": %d}%s\n"
+            r.cc_workload r.cc_heavy
+            (match r.cc_max_execs with None -> "null" | Some m -> string_of_int m)
+            r.cc_explored r.cc_feasible r.cc_wall_on_s r.cc_wall_off_s r.cc_speedup r.cc_hits
+            r.cc_misses r.cc_entries hit_rate r.cc_hist_trunc r.cc_pref_trunc
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n")
 
 let run_check_cache () =
   section
@@ -884,41 +894,38 @@ let scaling_one ~max_execs ~jobs_list (b : B.t) test_name =
     jobs_list
 
 let write_explore_json ~skipped_single_core pruning scaling =
-  let path =
-    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> explore_json_file
-  in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n  %s,\n  \"pr\": 5,\n  \"smoke\": %b,\n  \"skipped_single_core\": %b,\n  \
-     \"median_interleaving_reduction\": %.2f,\n  \"median_speedup\": %.2f,\n  \"pruning\": [\n"
-    (metadata_json ()) !smoke skipped_single_core
-    (median (List.map (fun r -> r.pe_reduction) pruning))
-    (median (List.map (fun r -> r.pe_speedup) pruning));
-  List.iteri
-    (fun i r ->
+  write_bench_file ~default:explore_json_file ~pr:5
+    ~note:(if !smoke then " (smoke)" else "")
+    (fun oc ->
       Printf.fprintf oc
-        "    {\"workload\": %S, \"unpruned_explored\": %d, \"unpruned_wall_s\": %.4f, \
-         \"pruned_explored\": %d, \"equiv_pruned\": %d, \"pruned_wall_s\": %.4f, \
-         \"distinct_graphs\": %d, \"interleaving_reduction\": %.2f, \"speedup\": %.2f, \
-         \"exhausted\": %b}%s\n"
-        r.pe_workload r.pe_off_explored r.pe_off_wall_s r.pe_on_explored r.pe_on_equiv_pruned
-        r.pe_on_wall_s r.pe_graphs r.pe_reduction r.pe_speedup r.pe_gated
-        (if i = List.length pruning - 1 then "" else ","))
-    pruning;
-  Printf.fprintf oc "  ],\n  \"scaling\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"workload\": %S, \"jobs\": %d, \"serial_wall_s\": %.4f, \"static_wall_s\": %.4f, \
-         \"steal_wall_s\": %.4f, \"static_speedup\": %.2f, \"steal_speedup\": %.2f}%s\n"
-        r.sc_workload r.sc_jobs r.sc_serial_wall_s r.sc_static_wall_s r.sc_steal_wall_s
-        (if r.sc_static_wall_s > 0. then r.sc_serial_wall_s /. r.sc_static_wall_s else 1.)
-        (if r.sc_steal_wall_s > 0. then r.sc_serial_wall_s /. r.sc_steal_wall_s else 1.)
-        (if i = List.length scaling - 1 then "" else ","))
-    scaling;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.printf "@.wrote %s%s@." path (if !smoke then " (smoke)" else "")
+        "  \"smoke\": %b,\n  \"skipped_single_core\": %b,\n  \
+         \"median_interleaving_reduction\": %.2f,\n  \"median_speedup\": %.2f,\n  \"pruning\": [\n"
+        !smoke skipped_single_core
+        (median (List.map (fun r -> r.pe_reduction) pruning))
+        (median (List.map (fun r -> r.pe_speedup) pruning));
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"unpruned_explored\": %d, \"unpruned_wall_s\": %.4f, \
+             \"pruned_explored\": %d, \"equiv_pruned\": %d, \"pruned_wall_s\": %.4f, \
+             \"distinct_graphs\": %d, \"interleaving_reduction\": %.2f, \"speedup\": %.2f, \
+             \"exhausted\": %b}%s\n"
+            r.pe_workload r.pe_off_explored r.pe_off_wall_s r.pe_on_explored r.pe_on_equiv_pruned
+            r.pe_on_wall_s r.pe_graphs r.pe_reduction r.pe_speedup r.pe_gated
+            (if i = List.length pruning - 1 then "" else ","))
+        pruning;
+      Printf.fprintf oc "  ],\n  \"scaling\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"jobs\": %d, \"serial_wall_s\": %.4f, \"static_wall_s\": \
+             %.4f, \"steal_wall_s\": %.4f, \"static_speedup\": %.2f, \"steal_speedup\": %.2f}%s\n"
+            r.sc_workload r.sc_jobs r.sc_serial_wall_s r.sc_static_wall_s r.sc_steal_wall_s
+            (if r.sc_static_wall_s > 0. then r.sc_serial_wall_s /. r.sc_static_wall_s else 1.)
+            (if r.sc_steal_wall_s > 0. then r.sc_serial_wall_s /. r.sc_steal_wall_s else 1.)
+            (if i = List.length scaling - 1 then "" else ","))
+        scaling;
+      Printf.fprintf oc "  ]\n")
 
 let run_explore () =
   section
@@ -1068,51 +1075,48 @@ let replay_one ~max_execs (b : B.t) =
   }
 
 let write_replay_json rows =
-  let path =
-    match Sys.getenv_opt "CDSSPEC_BENCH_OUT" with Some p -> p | None -> replay_json_file
-  in
-  let oc = open_out path in
   let speedup r = rp_eps r.rp_explored r.rp_arena_wall_s /. Float.max 1e-9 (rp_eps r.rp_explored r.rp_legacy_wall_s) in
-  Printf.fprintf oc
-    "{\n  %s,\n  \"pr\": 6,\n  \"smoke\": %b,\n  \"best_of\": %d,\n  \"divergences\": 0,\n  \
-     \"median_speedup_vs_legacy\": %.2f,\n  \"pr5_trajectory\": [\n"
-    (metadata_json ()) !smoke replay_reps
-    (median (List.map speedup rows));
-  let traj =
-    List.filter_map
-      (fun (workload, base_eps) ->
-        List.find_opt (fun r -> r.rp_workload = workload) rows
-        |> Option.map (fun r -> (workload, base_eps, r)))
-      pr5_baseline_eps
-  in
-  List.iteri
-    (fun i (workload, base_eps, r) ->
-      let eps = rp_eps r.rp_explored r.rp_arena_wall_s in
+  write_bench_file ~default:replay_json_file ~pr:6
+    ~note:(if !smoke then " (smoke)" else "")
+    (fun oc ->
       Printf.fprintf oc
-        "    {\"workload\": %S, \"pr5_execs_per_sec\": %.1f, \"arena_execs_per_sec\": %.1f, \
-         \"speedup_vs_pr5\": %.2f}%s\n"
-        workload base_eps eps
-        (eps /. base_eps)
-        (if i = List.length traj - 1 then "" else ","))
-    traj;
-  Printf.fprintf oc "  ],\n  \"engine\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"workload\": %S, \"explored\": %d, \"arena_wall_s\": %.4f, \"legacy_wall_s\": \
-         %.4f, \"arena_execs_per_sec\": %.1f, \"legacy_execs_per_sec\": %.1f, \"speedup\": %.2f, \
-         \"snapshots\": %d, \"restores\": %d, \"arena_minor_words_per_exec\": %.0f, \
-         \"legacy_minor_words_per_exec\": %.0f, \"identical\": true}%s\n"
-        r.rp_workload r.rp_explored r.rp_arena_wall_s r.rp_legacy_wall_s
-        (rp_eps r.rp_explored r.rp_arena_wall_s)
-        (rp_eps r.rp_explored r.rp_legacy_wall_s)
-        (speedup r) r.rp_snapshots r.rp_restores r.rp_arena_words_per_exec
-        r.rp_legacy_words_per_exec
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.printf "@.wrote %s%s@." path (if !smoke then " (smoke)" else "")
+        "  \"smoke\": %b,\n  \"best_of\": %d,\n  \"divergences\": 0,\n  \
+         \"median_speedup_vs_legacy\": %.2f,\n  \"pr5_trajectory\": [\n"
+        !smoke replay_reps
+        (median (List.map speedup rows));
+      let traj =
+        List.filter_map
+          (fun (workload, base_eps) ->
+            List.find_opt (fun r -> r.rp_workload = workload) rows
+            |> Option.map (fun r -> (workload, base_eps, r)))
+          pr5_baseline_eps
+      in
+      List.iteri
+        (fun i (workload, base_eps, r) ->
+          let eps = rp_eps r.rp_explored r.rp_arena_wall_s in
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"pr5_execs_per_sec\": %.1f, \"arena_execs_per_sec\": %.1f, \
+             \"speedup_vs_pr5\": %.2f}%s\n"
+            workload base_eps eps
+            (eps /. base_eps)
+            (if i = List.length traj - 1 then "" else ","))
+        traj;
+      Printf.fprintf oc "  ],\n  \"engine\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"explored\": %d, \"arena_wall_s\": %.4f, \"legacy_wall_s\": \
+             %.4f, \"arena_execs_per_sec\": %.1f, \"legacy_execs_per_sec\": %.1f, \"speedup\": \
+             %.2f, \"snapshots\": %d, \"restores\": %d, \"arena_minor_words_per_exec\": %.0f, \
+             \"legacy_minor_words_per_exec\": %.0f, \"identical\": true}%s\n"
+            r.rp_workload r.rp_explored r.rp_arena_wall_s r.rp_legacy_wall_s
+            (rp_eps r.rp_explored r.rp_arena_wall_s)
+            (rp_eps r.rp_explored r.rp_legacy_wall_s)
+            (speedup r) r.rp_snapshots r.rp_restores r.rp_arena_words_per_exec
+            r.rp_legacy_words_per_exec
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n")
 
 let run_replay () =
   section
@@ -1136,6 +1140,317 @@ let run_replay () =
       Structures.Registry.exhaustive
   in
   write_replay_json rows
+
+(* ------------------------------------------------------------------ *)
+(* Serve: the PR-7 checking-as-a-service + persistent-store benchmark.
+   Three sections in BENCH_PR7.json:
+
+   - "store": cold-vs-warm job latency through Store.explore_checked on
+     history-heavy and spin-heavy workloads. The cold run explores and
+     saves; the warm run preloads the closed prune keys and collapses to
+     a re-validation. Cold and warm verdicts (graph set, bug keys, first
+     buggy trace) are compared row by row and any divergence is a hard
+     failure, so the `--smoke` run doubles as CI's store-soundness gate.
+   - "advisor": the weakening advisor's behaviour sweeps recalled from
+     the store instead of re-explored.
+   - "serve": an in-process daemon on a scratch socket, two concurrent
+     clients driving the same 3-job batch twice against one store —
+     jobs/sec cold vs warm plus the protocol-visible hit rates.        *)
+
+let serve_json_file = "BENCH_PR7.json"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+type sv_row = {
+  sv_workload : string;
+  sv_kind : string;  (* "history-heavy" | "spin-heavy" *)
+  sv_cold_wall_s : float;
+  sv_warm_wall_s : float;
+  sv_cold_explored : int;
+  sv_warm_explored : int;
+  sv_graphs : int;
+  sv_warm_hit : bool;
+  sv_identical : bool;
+}
+
+let sv_speedup r = r.sv_cold_wall_s /. Float.max 1e-9 r.sv_warm_wall_s
+
+let store_cold_warm ~dir ~max_execs ~kind (b : B.t) test_name =
+  let t = find_test b test_name in
+  let ords = Structures.Ords.default b.sites in
+  let run () =
+    (* reopen per run: a warm run must pay the real open-and-load cost *)
+    let store = Store.open_dir dir in
+    let t0 = Unix.gettimeofday () in
+    let r, d =
+      Store.explore_checked ~store ~checker:Cdsspec.Checker.default_config ~use_cache:true
+        ~max_execs ~jobs:1 ~prune:true ~engine:`Arena b ~ords t
+    in
+    (Unix.gettimeofday () -. t0, r, d)
+  in
+  let cold_wall, cold, _ = run () in
+  let warm_wall, warm, warm_d = run () in
+  {
+    sv_workload = b.name ^ "/" ^ t.B.test_name;
+    sv_kind = kind;
+    sv_cold_wall_s = cold_wall;
+    sv_warm_wall_s = warm_wall;
+    sv_cold_explored = cold.E.stats.explored;
+    sv_warm_explored = warm.E.stats.explored;
+    sv_graphs = warm.E.stats.distinct_graphs;
+    sv_warm_hit = warm_d = `Hit;
+    sv_identical =
+      cold.E.graphs = warm.E.graphs
+      && List.map Mc.Bug.key cold.E.bugs = List.map Mc.Bug.key warm.E.bugs
+      && cold.E.first_buggy_trace = warm.E.first_buggy_trace;
+  }
+
+let serve_store_cases () =
+  let case name test kind =
+    match Structures.Registry.find name with
+    | Some b -> Some (b, test, kind)
+    | None ->
+      Format.printf "serve-bench: no benchmark %S, skipping@." name;
+      None
+  in
+  List.filter_map Fun.id
+    (if !smoke then
+       [ case "M&S Queue" "2enq-2deq" "history-heavy"; case "MCS Lock" "two-threads" "spin-heavy" ]
+     else
+       [
+         case "M&S Queue" "2enq-2deq" "history-heavy";
+         case "Treiber Stack" "2push-2pop" "history-heavy";
+         case "MCS Lock" "two-threads" "spin-heavy";
+         case "Seqlock" "1write-1read" "spin-heavy";
+       ])
+
+type sv_adv = {
+  sva_bench : string;
+  sva_cold_wall_s : float;
+  sva_warm_wall_s : float;
+  sva_store_hits : int;
+  sva_identical : bool;
+}
+
+let advisor_cold_warm ~dir (b : B.t) ~max_execs =
+  let summary =
+    Analyze.Access_summary.collect
+      ~config:{ Analyze.Access_summary.default_config with max_executions = max_execs }
+      b
+  in
+  let strip (r : Analyze.Weaken.report) =
+    List.map
+      (fun (c : Analyze.Weaken.candidate) ->
+        (c.site, c.to_order, Analyze.Weaken.verdict_to_string c.verdict))
+      r.candidates
+  in
+  let run () =
+    let store = Store.open_dir dir in
+    let config =
+      { Analyze.Weaken.default_config with max_executions = max_execs; store = Some store }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Analyze.Weaken.advise ~config b ~summary in
+    (Unix.gettimeofday () -. t0, r, store)
+  in
+  let cold_wall, cold, _ = run () in
+  let warm_wall, warm, warm_store = run () in
+  {
+    sva_bench = b.name;
+    sva_cold_wall_s = cold_wall;
+    sva_warm_wall_s = warm_wall;
+    sva_store_hits = (Store.stats warm_store).hits;
+    sva_identical = strip cold = strip warm;
+  }
+
+(* One 3-job batch over two concurrent client connections; returns the
+   wall time, the per-job verdict summaries (sorted, so batch-to-batch
+   comparison ignores completion order) and the hit/miss tallies the
+   result events report. *)
+let serve_batch ~socket ~max_execs cases =
+  let module C = Serve.Client in
+  let module J = Analyze.Json in
+  let ev j = Option.bind (J.member "event" j) J.to_str in
+  (* fire every submit up front, then drain each connection until one
+     terminal (done/error) event per submitted job has arrived — two
+     jobs share a connection, so a result line of the first may land
+     before the accept of the second; ordering is per job, not global *)
+  let drain c n =
+    let results = ref [] in
+    let seen = ref 0 in
+    while !seen < n do
+      match C.recv ~timeout:300. c with
+      | C.Msg j -> (
+        match ev j with
+        | Some "result" ->
+          results :=
+            ( Option.bind (J.member "test" j) J.to_str,
+              (match J.member "bugs" j with
+              | Some (J.List bs) ->
+                List.filter_map (fun b -> Option.bind (J.member "key" b) J.to_str) bs
+              | _ -> []),
+              Option.bind (J.member "store" j) J.to_str )
+            :: !results
+        | Some ("done" | "error") -> incr seen
+        | _ -> ())
+      | _ -> failwith "serve-bench: connection dropped mid-batch"
+    done;
+    List.rev !results
+  in
+  let c0 = C.connect socket and c1 = C.connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      C.close c0;
+      C.close c1)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let counts = [| 0; 0 |] in
+      List.iteri
+        (fun i (b, test, _) ->
+          let c = if i mod 2 = 0 then c0 else c1 in
+          counts.(i mod 2) <- counts.(i mod 2) + 1;
+          C.send c
+            (J.Obj
+               [
+                 ("op", J.Str "check");
+                 ("bench", J.Str (b : B.t).name);
+                 ("test", J.Str test);
+                 ("max_executions", J.Int max_execs);
+               ]))
+        cases;
+      let results = drain c0 counts.(0) @ drain c1 counts.(1) in
+      let wall = Unix.gettimeofday () -. t0 in
+      let hits = List.length (List.filter (fun (_, _, d) -> d = Some "hit") results) in
+      let misses = List.length (List.filter (fun (_, _, d) -> d = Some "miss") results) in
+      let verdicts = List.sort compare (List.map (fun (t, bugs, _) -> (t, bugs)) results) in
+      (wall, verdicts, hits, misses))
+
+let run_serve () =
+  section
+    (Printf.sprintf "Serve: persistent store + checking-as-a-service%s"
+       (if !smoke then " (smoke subset)" else ""));
+  let max_execs = if !smoke then 20_000 else 400_000 in
+  let store_dir = "_bench_pr7_store" in
+  let serve_dir = "_bench_pr7_serve_store" in
+  rm_rf store_dir;
+  rm_rf serve_dir;
+  let divergences = ref [] in
+  (* store rows *)
+  Format.printf "%-34s %-14s %10s %10s %9s %10s %10s %6s@." "Workload" "kind" "cold (s)"
+    "warm (s)" "speedup" "cold runs" "warm runs" "store";
+  let rows =
+    List.map
+      (fun (b, test, kind) ->
+        let r = store_cold_warm ~dir:store_dir ~max_execs:(Some max_execs) ~kind b test in
+        Format.printf "%-34s %-14s %10.3f %10.3f %8.2fx %10d %10d %6s@." r.sv_workload r.sv_kind
+          r.sv_cold_wall_s r.sv_warm_wall_s (sv_speedup r) r.sv_cold_explored r.sv_warm_explored
+          (if r.sv_warm_hit then "hit" else "miss");
+        if not r.sv_identical then divergences := r.sv_workload :: !divergences;
+        r)
+      (serve_store_cases ())
+  in
+  if not (List.exists (fun r -> r.sv_warm_hit) rows) then
+    failwith "serve-bench: no store row produced a warm hit; the warm path never ran";
+  (* advisor row *)
+  let adv =
+    match Structures.Registry.find "Treiber Stack" with
+    | None -> None
+    | Some b ->
+      let a =
+        advisor_cold_warm ~dir:store_dir b
+          ~max_execs:(Some (if !smoke then 5_000 else 50_000))
+      in
+      Format.printf "@.advisor %-26s %10.3f %10.3f %8.2fx %10s hits=%d@." a.sva_bench
+        a.sva_cold_wall_s a.sva_warm_wall_s
+        (a.sva_cold_wall_s /. Float.max 1e-9 a.sva_warm_wall_s)
+        "" a.sva_store_hits;
+      if not a.sva_identical then divergences := ("advisor " ^ a.sva_bench) :: !divergences;
+      Some a
+  in
+  (* serve throughput: daemon + 2 clients, same 3-job batch twice *)
+  let serve_cases =
+    List.filteri (fun i _ -> i < 3) (serve_store_cases () @ serve_store_cases ())
+  in
+  let socket = "_bench_pr7.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let daemon =
+    Domain.spawn (fun () -> Serve.Server.serve ~socket ~jobs:2 ~store_dir:serve_dir ())
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  let serve_max = if !smoke then 10_000 else 100_000 in
+  let cold_wall, cold_verdicts, cold_hits, cold_misses =
+    serve_batch ~socket ~max_execs:serve_max serve_cases
+  in
+  let warm_wall, warm_verdicts, warm_hits, warm_misses =
+    serve_batch ~socket ~max_execs:serve_max serve_cases
+  in
+  (let module C = Serve.Client in
+   let module J = Analyze.Json in
+   let c = C.connect socket in
+   C.send c (J.Obj [ ("op", J.Str "shutdown") ]);
+   ignore (C.recv ~timeout:30. c);
+   C.close c);
+  Domain.join daemon;
+  if cold_verdicts <> warm_verdicts then divergences := "serve batch" :: !divergences;
+  let batch = List.length serve_cases in
+  let jps wall = float_of_int batch /. Float.max 1e-9 wall in
+  Format.printf
+    "@.serve batch (%d jobs, 2 clients, 2 workers): cold %.3fs (%.2f jobs/s, %d/%d hits), warm \
+     %.3fs (%.2f jobs/s, %d/%d hits)@."
+    batch cold_wall (jps cold_wall) cold_hits (cold_hits + cold_misses) warm_wall (jps warm_wall)
+    warm_hits (warm_hits + warm_misses);
+  (* the gate: cold and warm must be indistinguishable to a client *)
+  (match !divergences with
+  | [] -> ()
+  | l ->
+    List.iter (Format.printf "DIVERGENCE: cold and warm verdicts differ on %s@.") l;
+    failwith "serve-bench: cold/warm verdict divergence — the store changed a verdict");
+  write_bench_file ~default:serve_json_file ~pr:7
+    ~note:(if !smoke then " (smoke)" else "")
+    (fun oc ->
+      Printf.fprintf oc
+        "  \"smoke\": %b,\n  \"divergences\": 0,\n  \"median_warm_speedup\": %.2f,\n  \
+         \"store\": [\n"
+        !smoke
+        (median (List.map sv_speedup (List.filter (fun r -> r.sv_warm_hit) rows)));
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"kind\": %S, \"cold_wall_s\": %.4f, \"warm_wall_s\": %.4f, \
+             \"speedup\": %.2f, \"cold_explored\": %d, \"warm_explored\": %d, \
+             \"distinct_graphs\": %d, \"warm_hit\": %b, \"identical\": true}%s\n"
+            r.sv_workload r.sv_kind r.sv_cold_wall_s r.sv_warm_wall_s (sv_speedup r)
+            r.sv_cold_explored r.sv_warm_explored r.sv_graphs r.sv_warm_hit
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n";
+      (match adv with
+      | None -> Printf.fprintf oc "  \"advisor\": null,\n"
+      | Some a ->
+        Printf.fprintf oc
+          "  \"advisor\": {\"bench\": %S, \"cold_wall_s\": %.4f, \"warm_wall_s\": %.4f, \
+           \"speedup\": %.2f, \"store_hits\": %d, \"identical\": true},\n"
+          a.sva_bench a.sva_cold_wall_s a.sva_warm_wall_s
+          (a.sva_cold_wall_s /. Float.max 1e-9 a.sva_warm_wall_s)
+          a.sva_store_hits);
+      Printf.fprintf oc
+        "  \"serve\": {\"workers\": 2, \"clients\": 2, \"batch_jobs\": %d, \"cold_wall_s\": \
+         %.4f, \"warm_wall_s\": %.4f, \"cold_jobs_per_sec\": %.2f, \"warm_jobs_per_sec\": %.2f, \
+         \"cold_hits\": %d, \"cold_misses\": %d, \"warm_hits\": %d, \"warm_misses\": %d, \
+         \"identical\": true}\n"
+        batch cold_wall warm_wall (jps cold_wall) (jps warm_wall) cold_hits cold_misses warm_hits
+        warm_misses);
+  rm_rf store_dir;
+  rm_rf serve_dir
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1185,9 +1500,10 @@ let () =
       | "check-cache" -> run_check_cache ()
       | "explore" -> run_explore ()
       | "replay" -> run_replay ()
+      | "serve" -> run_serve ()
       | other ->
         Format.printf
           "unknown job %S \
-           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay)@."
+           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay|serve)@."
           other)
     names

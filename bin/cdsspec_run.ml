@@ -8,11 +8,16 @@ let find_bench name =
   match Structures.Registry.find name with
   | Some b -> Ok b
   | None ->
+    (* Near-miss suggestions beat dumping the whole registry; the serve
+       daemon returns the same suggestions in its structured error. *)
     Error
       (`Msg
-        (Printf.sprintf "unknown benchmark %S; try: %s" name
-           (String.concat ", "
-              (List.map (fun (b : B.t) -> b.name) Structures.Registry.all))))
+        (match Structures.Registry.suggest name with
+        | [] ->
+          Printf.sprintf "unknown structure %S (run `cdsspec_run list` for the registry)" name
+        | suggestions ->
+          Printf.sprintf "unknown structure %S; did you mean %s?" name
+            (String.concat ", " suggestions)))
 
 let list_cmd () =
   List.iter
@@ -31,21 +36,16 @@ let list_cmd () =
   0
 
 let build_ords (b : B.t) weaken overrides =
-  let sites =
-    List.map
-      (fun (s : Structures.Ords.site) ->
-        match List.assoc_opt s.name overrides with
-        | Some order -> { s with Structures.Ords.order }
-        | None -> s)
-      b.sites
-  in
+  match Structures.Ords.with_overrides b.sites overrides with
+  | exception Invalid_argument m -> Error (`Msg m)
+  | sites -> (
   match weaken with
   | None -> Ok (Structures.Ords.default sites)
   | Some site -> (
     match Structures.Ords.weakened sites site with
     | Some ords -> Ok ords
     | None -> Error (`Msg (Printf.sprintf "site %s cannot be weakened further" site))
-    | exception Invalid_argument m -> Error (`Msg m))
+    | exception Invalid_argument m -> Error (`Msg m)))
 
 let litmus_cmd filter =
   let tests =
@@ -97,28 +97,21 @@ let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
   ignore (b, t);
   r.bugs <> []
 
-let exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune ~engine (b : B.t) ~ords
+let exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine (b : B.t) ~ords
     (t : B.test) =
-  let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
-  let r =
-    Mc.Parallel.explore ~jobs
-      ~config:
-        {
-          E.default_config with
-          scheduler = b.scheduler;
-          max_executions = max_execs;
-          prune;
-          engine;
-        }
-      ~on_feasible:(Cdsspec.Checker.hook ~config:checker ~cache b.spec)
-      ~check:(fun () -> Cdsspec.Checker.cache_counters cache)
-      (t.program ords)
+  let r, disposition =
+    Store.explore_checked ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine b ~ords t
   in
   Format.printf "%s/%s: explored %d, feasible %d, %d distinct graph%s, %.2fs%s@." b.name
     t.test_name r.stats.explored r.stats.feasible r.stats.distinct_graphs
     (if r.stats.distinct_graphs = 1 then "" else "s")
     r.stats.time
     (if r.stats.truncated then " (truncated)" else "");
+  (match disposition with
+  | `Off -> ()
+  | `Hit -> Format.printf "  store: hit (warm re-validation; stored graph set merged)@."
+  | `Miss -> Format.printf "  store: miss (cold run%s)@."
+               (if prune && r.bugs = [] && not r.stats.truncated then ", saved" else ", not saved"));
   let s = r.stats in
   if s.pruned_equiv + s.pruned_sleep_set + s.pruned_loop_bound + s.pruned_max_actions > 0 then
     Format.printf "  pruned: %d equivalence, %d sleep-set, %d loop-bound, %d max-actions@."
@@ -208,10 +201,11 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
       (if bugs <> [] then Some (Fmt.str "%a" C11.Execution.pp run_r.exec) else None);
     first_buggy_exec = (if bugs <> [] then Some run_r.exec else None);
     graphs = (if complete then [ C11.Execution.fingerprint run_r.exec ] else []);
+    closed = [];
   }
 
 let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_prune legacy
-    fuzzing replay =
+    fuzzing replay store_dir =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
@@ -219,6 +213,7 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_pr
     | Error e -> e
     | Ok ords -> (
       let fuzz, seed, time_budget, bias, checker, use_cache = fuzzing in
+      let store = Option.map Store.open_dir store_dir in
       let tests =
         match test_filter with
         | None -> b.tests
@@ -234,7 +229,7 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_pr
           if fuzz then Ok (fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias)
           else
             Ok
-              (exhaustive_one ~checker ~use_cache ~max_execs ~jobs ~prune:(not no_prune)
+              (exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune:(not no_prune)
                  ~engine:(if legacy then `Legacy else `Arena))
       in
       match run with
@@ -248,6 +243,13 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_pr
               let r = run b ~ords t in
               if report_result ~verbose ~dot b t r then any_bug := true)
             tests;
+          (match store with
+          | Some s ->
+            let st = Store.stats s in
+            Format.printf "store %s: %d hits, %d misses%s@." (Store.dir s) st.hits st.misses
+              (if st.corrupt > 0 then Printf.sprintf ", %d corrupt entries discarded" st.corrupt
+               else "")
+          | None -> ());
           if !any_bug then `Bug else `Ok
         end))
 
@@ -365,6 +367,124 @@ let inject_cmd name jobs =
           r.outcomes)
       rows;
     `Ok
+
+(* ------------------------------------------------------------------ *)
+(* Checking-as-a-service: daemon and client *)
+
+let serve_cmd socket jobs store_dir =
+  Serve.Server.serve ~socket ~jobs ?store_dir ();
+  `Ok
+
+module J = Analyze.Json
+
+let ev_name ev = Option.bind (J.member "event" ev) J.to_str
+
+let error_text ev =
+  let message =
+    Option.value (Option.bind (J.member "message" ev) J.to_str) ~default:"unknown error"
+  in
+  match J.member "suggestions" ev with
+  | Some (J.List (_ :: _ as l)) ->
+    Printf.sprintf "%s; did you mean %s?" message
+      (String.concat ", " (List.filter_map J.to_str l))
+  | _ -> message
+
+let render_event ev =
+  match ev_name ev with
+  | Some "result" ->
+    let test = Option.value (Option.bind (J.member "test" ev) J.to_str) ~default:"-" in
+    let bugs = match J.member "bugs" ev with Some (J.List l) -> l | _ -> [] in
+    let stat name = Option.value (Option.bind (J.member name ev) J.to_int) ~default:0 in
+    let store =
+      match Option.bind (J.member "store" ev) J.to_str with
+      | Some ("hit" | "miss" as s) -> Printf.sprintf ", store %s" s
+      | _ -> ""
+    in
+    Format.printf "%s: %s, explored %d, %d distinct graphs%s@." test
+      (match bugs with
+      | [] -> "ok"
+      | l -> Printf.sprintf "%d bug%s" (List.length l) (if List.length l = 1 then "" else "s"))
+      (stat "explored") (stat "distinct_graphs") store;
+    List.iter
+      (fun b ->
+        match Option.bind (J.member "message" b) J.to_str with
+        | Some m -> Format.printf "  BUG: %s@." m
+        | None -> ())
+      bugs;
+    (match J.member "findings" ev with
+    | Some (J.List findings) ->
+      List.iter
+        (fun f ->
+          let field name =
+            Option.value (Option.bind (J.member name f) J.to_str) ~default:"-"
+          in
+          Format.printf "  [%s] %s: %s@." (field "severity") (field "rule") (field "message"))
+        findings
+    | _ -> ())
+  | Some "progress" -> ()
+  | Some "accepted" -> ()
+  | Some "done" ->
+    Format.printf "%s@."
+      (match J.member "ok" ev with Some (J.Bool true) -> "ok" | _ -> "BUG")
+  | _ -> ()
+
+let client_cmd socket op bench test overrides max_execs json_out =
+  let module C = Serve.Client in
+  match C.connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    `Msg (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+  | c -> (
+    let finally () = C.close c in
+    Fun.protect ~finally @@ fun () ->
+    let print_ev ev =
+      if json_out then print_endline (J.to_line ev) else render_event ev
+    in
+    let one_shot req =
+      C.send c (J.Obj [ ("op", J.Str req) ]);
+      match C.recv ~timeout:30. c with
+      | C.Msg ev ->
+        if json_out then print_endline (J.to_line ev) else print_string (J.to_string ev);
+        `Ok
+      | C.Eof -> `Msg "server closed the connection"
+      | C.Timeout -> `Msg "timed out waiting for the server"
+    in
+    match op with
+    | "ping" | "list" | "shutdown" -> one_shot op
+    | "check" | "lint" | "fuzz" -> (
+      match bench with
+      | None -> `Msg (Printf.sprintf "client %s: name a benchmark" op)
+      | Some bench ->
+        let fields =
+          [ ("op", J.Str op); ("bench", J.Str bench) ]
+          @ (match test with Some t -> [ ("test", J.Str t) ] | None -> [])
+          @ (match overrides with
+            | [] -> []
+            | l ->
+              [
+                ( "overrides",
+                  J.List
+                    (List.map
+                       (fun (site, order) ->
+                         J.List [ J.Str site; J.Str (C11.Memory_order.to_string order) ])
+                       l) );
+              ])
+          @ match max_execs with Some n -> [ ("max_executions", J.Int n) ] | None -> []
+        in
+        C.send c (J.Obj fields);
+        let rec stream () =
+          match C.recv c with
+          | C.Msg ev -> (
+            print_ev ev;
+            match ev_name ev with
+            | Some "done" -> (
+              match J.member "ok" ev with Some (J.Bool true) -> `Ok | _ -> `Bug)
+            | Some "error" -> `Msg (error_text ev)
+            | _ -> stream ())
+          | C.Eof -> `Msg "server closed the connection mid-job"
+          | C.Timeout -> `Msg "timed out"
+        in
+        stream ())
+    | op -> `Msg (Printf.sprintf "unknown client op %S (check, lint, fuzz, ping, list, shutdown)" op))
 
 open Cmdliner
 
@@ -542,14 +662,26 @@ let check_term =
              produce bit-identical verdicts, graph sets, bug lists and traces; this is the \
              differential oracle.")
   in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent cross-run result store: closed decision subtrees, distinct-graph sets \
+             and memoized check verdicts are saved per job fingerprint, so re-running an \
+             identical check collapses to a warm re-validation with identical verdicts. The \
+             store flushes itself wholesale when the engine revision changes.")
+  in
   Term.(
     const
-      (fun name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing replay ->
+      (fun name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing replay
+           store_dir ->
         exit_of
           (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing
-             replay))
+             replay store_dir))
     $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ no_prune
-    $ legacy_engine $ fuzzing_term $ replay)
+    $ legacy_engine $ fuzzing_term $ replay $ store_dir)
 
 let lint_term =
   let bench = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in
@@ -610,6 +742,67 @@ let lint_term =
         exit_of (lint_cmd name all json advise max_execs time_budget jobs only_sites dot_dir))
     $ bench $ all $ json $ advise $ max_execs $ time_budget $ jobs_term $ sites $ dot_dir)
 
+let serve_term =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent cross-run result store shared by all jobs (see $(b,check --store)); \
+             flushed wholesale on engine-revision changes.")
+  in
+  Term.(
+    const (fun socket jobs store_dir -> exit_of (serve_cmd socket jobs store_dir))
+    $ socket $ jobs_term $ store_dir)
+
+let client_term =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the daemon listens on.")
+  in
+  let op =
+    Arg.(
+      value & pos 0 string "check"
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of $(b,check), $(b,lint), $(b,fuzz) (job ops, streamed), or $(b,ping), \
+             $(b,list), $(b,shutdown).")
+  in
+  let bench = Arg.(value & pos 1 (some string) None & info [] ~docv:"BENCHMARK") in
+  let test =
+    Arg.(
+      value & opt (some string) None & info [ "t"; "test" ] ~docv:"TEST" ~doc:"Run only this unit test.")
+  in
+  let overrides =
+    Arg.(
+      value & opt_all ord_conv []
+      & info [ "o"; "ord" ] ~docv:"SITE=ORDER" ~doc:"Pin a site's order for the submitted job.")
+  in
+  let max_execs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-executions" ] ~docv:"N" ~doc:"Per-test exploration cap for the submitted job.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw NDJSON event stream instead of human-readable text.")
+  in
+  Term.(
+    const (fun socket op bench test overrides max_execs json ->
+        exit_of (client_cmd socket op bench test overrides max_execs json))
+    $ socket $ op $ bench $ test $ overrides $ max_execs $ json)
+
 let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List benchmarks, unit tests and memory-order sites.")
@@ -632,6 +825,19 @@ let cmds =
       Term.(
         const (fun filter -> exit_of (litmus_cmd filter))
         $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"));
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the checking daemon: accept check/lint/fuzz jobs over a Unix-domain socket \
+            (newline-delimited JSON), shard them across a resident worker-domain pool, stream \
+            progress and verdicts, and reuse results across runs through the persistent store.")
+      serve_term;
+    Cmd.v
+      (Cmd.info "client"
+         ~doc:
+           "Submit a job to a running $(b,serve) daemon and watch its event stream ($(b,--json) \
+            for the raw protocol).")
+      client_term;
   ]
 
 let () =

@@ -82,6 +82,14 @@ let fnv_opt h = function None -> fnv h (-1) | Some v -> fnv (fnv h 1) v
 
 let behaviour_set_create () : behaviour_set = Hashtbl.create 256
 
+let behaviour_elements (set : behaviour_set) =
+  List.sort Int64.compare (Hashtbl.fold (fun k () acc -> k :: acc) set [])
+
+let behaviour_set_of_list l : behaviour_set =
+  let set = Hashtbl.create (max 16 (List.length l)) in
+  List.iter (fun fp -> Hashtbl.replace set fp ()) l;
+  set
+
 let behaviour_fingerprint exec =
   let h = ref offset in
   for i = 0 to Exec.num_actions exec - 1 do

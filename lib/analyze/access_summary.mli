@@ -93,6 +93,13 @@ val behaviour_cardinal : behaviour_set -> int
 (** [(fresh, lost)] counts relative to [baseline]. *)
 val behaviour_diff : baseline:behaviour_set -> candidate:behaviour_set -> int * int
 
+(** Sorted fingerprint list — the serializable form the persistent
+    cross-run store saves advisor behaviour sets in. *)
+val behaviour_elements : behaviour_set -> int64 list
+
+(** Inverse of {!behaviour_elements} (duplicates collapse). *)
+val behaviour_set_of_list : int64 list -> behaviour_set
+
 val behaviour_fingerprint : C11.Execution.t -> int64
 
 type t = {

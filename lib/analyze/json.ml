@@ -66,3 +66,238 @@ let to_string j =
   emit buf 0 j;
   Buffer.add_char buf '\n';
   Buffer.contents buf
+
+(* Compact one-line form — the serve protocol's NDJSON framing: one
+   message per line, so the value itself must never contain a newline
+   (escape handles any embedded in strings). *)
+let rec emit_line buf j =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_line buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        emit_line buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_line j =
+  let buf = Buffer.create 256 in
+  emit_line buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+(* Recursive-descent over a cursor. Accepts exactly what the two
+   printers emit plus insignificant whitespace; numbers with a '.', 'e'
+   or 'E' parse as Float, everything else as Int. Errors carry the byte
+   offset — enough to debug a protocol trace. *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected '%c'" c)
+
+let parse_literal cur word v =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected '%s'" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | Some '"' -> Buffer.add_char buf '"'; advance cur
+      | Some '\\' -> Buffer.add_char buf '\\'; advance cur
+      | Some '/' -> Buffer.add_char buf '/'; advance cur
+      | Some 'n' -> Buffer.add_char buf '\n'; advance cur
+      | Some 'r' -> Buffer.add_char buf '\r'; advance cur
+      | Some 't' -> Buffer.add_char buf '\t'; advance cur
+      | Some 'b' -> Buffer.add_char buf '\b'; advance cur
+      | Some 'f' -> Buffer.add_char buf '\012'; advance cur
+      | Some 'u' ->
+        advance cur;
+        if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
+        let hex = String.sub cur.src cur.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail cur "bad \\u escape"
+        in
+        cur.pos <- cur.pos + 4;
+        (* The printer only emits \u00XX for control bytes; decode the
+           BMP range as UTF-8 so round-trips through foreign producers
+           do not lose data. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> fail cur "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek cur with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance cur;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with Some f -> Float f | None -> fail cur "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with Some f -> Float f | None -> fail cur "bad number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value cur ] in
+      skip_ws cur;
+      let rec go () =
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items := parse_value cur :: !items;
+          skip_ws cur;
+          go ()
+        | Some ']' -> advance cur
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      go ();
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws cur;
+      let rec go () =
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          fields := field () :: !fields;
+          skip_ws cur;
+          go ()
+        | Some '}' -> advance cur
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+  | Some c -> fail cur (Printf.sprintf "unexpected '%c'" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+    skip_ws cur;
+    if cur.pos <> String.length s then Error (Printf.sprintf "trailing data at offset %d" cur.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None

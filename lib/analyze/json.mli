@@ -1,7 +1,8 @@
 (** Minimal JSON document builder for the lint report's machine-readable
-    output. Hand-rolled (like the bench JSON emitters) so the repo stays
-    dependency-free; the printer is deterministic, which lets the test
-    suite pin the schema byte-for-byte. *)
+    output and the serve daemon's wire protocol. Hand-rolled (like the
+    bench JSON emitters) so the repo stays dependency-free; both
+    printers are deterministic, which lets the test suite pin schemas
+    byte-for-byte. *)
 
 type t =
   | Null
@@ -14,3 +15,21 @@ type t =
 
 (** Pretty-printed with two-space indentation and a trailing newline. *)
 val to_string : t -> string
+
+(** Compact single-line form with no trailing newline — the serve
+    protocol's NDJSON framing (strings escape embedded newlines, so the
+    output never contains one). *)
+val to_line : t -> string
+
+(** Parse one JSON value; accepts what either printer emits plus
+    insignificant whitespace, rejects trailing garbage. Numbers
+    containing '.', 'e' or 'E' parse as [Float], others as [Int].
+    Errors carry a byte offset. *)
+val of_string : string -> (t, string) result
+
+(** [member k j] is field [k] of object [j]; [None] on missing field or
+    non-object. *)
+val member : string -> t -> t option
+
+val to_str : t -> string option
+val to_int : t -> int option

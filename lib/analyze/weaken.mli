@@ -34,6 +34,15 @@ type config = {
   time_budget : float option;
       (** wall-clock budget; remaining candidates are skipped and the
           report marked truncated *)
+  store : Store.t option;
+      (** persistent cross-run store: each candidate's per-test behaviour
+          sweep is recalled instead of re-explored when an identical
+          sweep (same bench, ords table, caps, checker config, engine
+          revision) completed cleanly before. Verdicts are unchanged —
+          the behaviour sets diffed downstream are the stored ones.
+          Buggy or truncated sweeps are never stored, so those
+          candidates always re-explore (the witness search needs the
+          live run anyway). *)
 }
 
 val default_config : config

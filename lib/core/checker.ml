@@ -396,6 +396,42 @@ let cache_counters c =
   Mutex.unlock c.lock;
   r
 
+type cache_entry = {
+  entry_key : string;
+  entry_verdict : violation list;
+  entry_h_trunc : bool;
+  entry_p_trunc : bool;
+}
+
+let export_entries c =
+  Mutex.lock c.lock;
+  let r =
+    Hashtbl.fold
+      (fun key (v : cached) acc ->
+        { entry_key = key; entry_verdict = v.verdict; entry_h_trunc = v.h_trunc;
+          entry_p_trunc = v.p_trunc }
+        :: acc)
+      c.table []
+  in
+  Mutex.unlock c.lock;
+  r
+
+(* Imported entries land in the table without bumping hit/miss counters:
+   a preloaded verdict is neither — the counters describe this run's
+   lookups. No-op with memoization off, so [--no-check-cache] keeps its
+   meaning even against a warm store. *)
+let import_entries c entries =
+  if c.memoize then begin
+    Mutex.lock c.lock;
+    List.iter
+      (fun e ->
+        if not (Hashtbl.mem c.table e.entry_key) then
+          Hashtbl.replace c.table e.entry_key
+            { verdict = e.entry_verdict; h_trunc = e.entry_h_trunc; p_trunc = e.entry_p_trunc })
+      entries;
+    Mutex.unlock c.lock
+  end
+
 (* Canonical fingerprint of one per-object check instance: the calls in
    dense-id order (name, args, C_RET, tid) plus the reachability closure
    of ⊑r as an n*n bit matrix. Everything the checker's verdict depends

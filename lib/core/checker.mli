@@ -64,6 +64,26 @@ val create_cache : ?memoize:bool -> unit -> cache
     including cached ones). *)
 val cache_counters : cache -> Mc.Explorer.check_counters
 
+(** One memoized verdict, in serializable form — what the persistent
+    cross-run store saves and restores. [entry_key] is the
+    {!fingerprint} string; the truncation flags record whether this
+    verdict was computed under a hit enumeration cap (a warm run must
+    re-surface the same truncation warnings a cold run would). *)
+type cache_entry = {
+  entry_key : string;
+  entry_verdict : violation list;
+  entry_h_trunc : bool;
+  entry_p_trunc : bool;
+}
+
+(** Snapshot every memoized verdict (unspecified order). *)
+val export_entries : cache -> cache_entry list
+
+(** Preload verdicts from an earlier run of the identical spec/config.
+    Existing keys are kept, hit/miss counters are untouched (preloading
+    is neither), and the call is a no-op on a [~memoize:false] cache. *)
+val import_entries : cache -> cache_entry list -> unit
+
 (** Canonical fingerprint of one per-object check instance: the calls
     in dense-id order (name, args, C_RET, tid) plus the reachability
     closure of the ordering relation. Exposed for the tests. *)

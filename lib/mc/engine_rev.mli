@@ -1,0 +1,14 @@
+(** The engine semantics revision — the single source of truth for every
+    consumer that persists exploration-derived data across processes (the
+    on-disk result store, the [BENCH_*.json] metadata headers).
+
+    Bump [current] whenever a change can alter what any exploration
+    produces or how its artifacts are keyed: the execution-graph
+    fingerprint, the prune-key construction, sleep-set or equivalence
+    pruning semantics, the scheduler's decision enumeration order, the
+    checker's verdict fingerprint, or the store's serialized formats.
+    The persistent store compares this string against the one recorded on
+    disk and flushes itself wholesale on any mismatch — invalidation is
+    coarse and safe, never clever and wrong. *)
+
+val current : string

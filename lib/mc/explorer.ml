@@ -57,6 +57,10 @@ type result = {
   first_buggy_trace : string option;
   first_buggy_exec : C11.Execution.t option;
   graphs : int64 list;
+  closed : Scheduler.prune_key list;
+      (* decision-point states whose subtrees this search fully explored —
+         what the persistent store saves so a later identical run can
+         prune them without re-exploring ([] with pruning off) *)
 }
 
 (* Decision records are mutated by [backtrack]; a prefix handed to
@@ -113,7 +117,7 @@ let donatable ~frozen (trace : Scheduler.decision Vec.t) =
   go frozen
 
 let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> no_check_counters)
-    ?stop ?want_split ?on_split ~trace ~frozen main =
+    ?stop ?want_split ?on_split ?warm ~trace ~frozen main =
   let t0 = Monotonic.now () in
   let g0 = (Gc.quick_stat ()).Gc.minor_words in
   (* Time spent in the caller's [progress] callback is the caller's, not
@@ -139,7 +143,19 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
      pruned. *)
   let visited : (Scheduler.prune_key, unit) Hashtbl.t = Hashtbl.create 256 in
   let close k = Hashtbl.replace visited k () in
-  let prune = if config.prune then Some (fun k -> Hashtbl.mem visited k) else None in
+  (* [warm] is a read-only set of states proven fully explored by an
+     earlier run of the *same* program/config (the persistent store's
+     closed prune keys). It is consulted alongside [visited] but never
+     written: if the program actually changed, no warm key ever matches
+     and the search degrades to a plain cold exploration. Shared across
+     domains without a lock — it is frozen before the search starts. *)
+  let prune =
+    if not config.prune then None
+    else
+      match warm with
+      | None -> Some (fun k -> Hashtbl.mem visited k)
+      | Some w -> Some (fun k -> Hashtbl.mem visited k || Hashtbl.mem w k)
+  in
   (* Distinct feasible execution graphs, by canonical fingerprint. Under
      pruning, repeated graphs also skip [on_feasible] and bug recording:
      an identical graph yields identical bugs and verdicts, all already
@@ -268,7 +284,8 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
     first_buggy_trace = !first_buggy_trace;
     first_buggy_exec = !first_buggy_exec;
     graphs = graph_list;
+    closed = Hashtbl.fold (fun k () acc -> k :: acc) visited [];
   }
 
-let explore ?config ?on_feasible ?check main =
-  explore_subtree ?config ?on_feasible ?check ~trace:(Vec.create ()) ~frozen:0 main
+let explore ?config ?on_feasible ?check ?warm main =
+  explore_subtree ?config ?on_feasible ?check ?warm ~trace:(Vec.create ()) ~frozen:0 main

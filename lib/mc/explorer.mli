@@ -90,6 +90,13 @@ type result = {
       (** sorted canonical fingerprints of every distinct feasible
           execution graph — what the pruned-vs-unpruned differential
           tests compare, and what {!Parallel} unions across subtrees *)
+  closed : Scheduler.prune_key list;
+      (** decision-point states whose subtrees this search fully explored
+          (the keys equivalence pruning armed itself with, in no
+          particular order). The persistent cross-run store saves these so
+          a later run of the identical program/config can preload them via
+          [warm] and skip the corresponding subtrees. Empty with
+          [config.prune] off. *)
 }
 
 (** Copy a decision record: decision records are mutated by {!backtrack},
@@ -118,11 +125,24 @@ val backtrack :
     is skipped on repeated execution graphs (an identical graph yields
     identical verdicts). [check], when given, is called once at the end
     of the search and its snapshot lands in [stats.check] — the checking
-    hook's counter export. *)
+    hook's counter export.
+
+    [warm], when given, is a read-only set of decision-point states
+    proven fully explored by an earlier run of the *identical*
+    program/config (a prior run's [result.closed], persisted by the
+    cross-run store). It is consulted by equivalence pruning alongside
+    the run's own visited table but never written; a warm run therefore
+    re-discovers only the graphs reachable without entering a
+    previously-closed subtree, and the caller is responsible for merging
+    the stored graph set back in. Safety is by construction: if the
+    program changed, no warm key matches any fresh state and the search
+    degrades to a plain cold exploration. Ignored when [config.prune] is
+    off. *)
 val explore :
   ?config:config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
   ?check:(unit -> check_counters) ->
+  ?warm:(Scheduler.prune_key, unit) Hashtbl.t ->
   (unit -> unit) ->
   result
 
@@ -152,6 +172,7 @@ val explore_subtree :
   ?stop:(unit -> bool) ->
   ?want_split:(unit -> bool) ->
   ?on_split:(key:int list -> prefix:Scheduler.decision array -> frozen:int -> unit) ->
+  ?warm:(Scheduler.prune_key, unit) Hashtbl.t ->
   trace:Scheduler.decision C11.Vec.t ->
   frozen:int ->
   (unit -> unit) ->

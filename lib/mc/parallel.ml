@@ -69,6 +69,10 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
   in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let graphs : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Closed states union across subtrees: each work item's closures are
+     sound on their own (a popped decision's subtree is fully explored
+     regardless of who explored the siblings), so the union is too. *)
+  let closed : (Scheduler.prune_key, unit) Hashtbl.t = Hashtbl.create 256 in
   let stats = ref zero in
   let bugs = ref [] in
   let first_trace = ref None in
@@ -94,6 +98,7 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
           check = s.check;
         };
       List.iter (fun fp -> Hashtbl.replace graphs fp ()) r.graphs;
+      List.iter (fun k -> Hashtbl.replace closed k ()) r.closed;
       List.iter
         (fun b ->
           let key = Bug.key b in
@@ -124,6 +129,7 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
     first_buggy_trace = !first_trace;
     first_buggy_exec = !first_exec;
     graphs = graph_list;
+    closed = Hashtbl.fold (fun k () acc -> k :: acc) closed [];
   }
 
 (* Global execution cap across domains: each worker polls [stop] after
@@ -143,7 +149,7 @@ let make_stop ~halted = function
 (* ------------------------------------------------------------------ *)
 (* Static split: enumerate prefixes up front, drain them from a pool.   *)
 
-let explore_static ~config ?on_feasible ?check ~jobs ~split_depth main =
+let explore_static ~config ?on_feasible ?check ?warm ~jobs ~split_depth main =
   let t0 = Monotonic.now () in
   let work =
     Array.of_list
@@ -167,7 +173,7 @@ let explore_static ~config ?on_feasible ?check ~jobs ~split_depth main =
           let trace = Vec.create () in
           Array.iter (fun d -> Vec.push trace (copy_decision d)) work.(i);
           let r =
-            Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ~trace
+            Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ?warm ~trace
               ~frozen:(Array.length work.(i))
               main
           in
@@ -205,7 +211,7 @@ let explore_static ~config ?on_feasible ?check ~jobs ~split_depth main =
    key reproduces the serial explorer's bug order exactly. *)
 type work_item = { key : int list; prefix : Scheduler.decision array; frozen : int }
 
-let explore_steal ~config ?on_feasible ?check ~jobs main =
+let explore_steal ~config ?on_feasible ?check ?warm ~jobs main =
   let t0 = Monotonic.now () in
   let mutex = Mutex.create () in
   let cond = Condition.create () in
@@ -278,7 +284,7 @@ let explore_steal ~config ?on_feasible ?check ~jobs main =
           let trace = Vec.create () in
           Array.iter (fun d -> Vec.push trace (copy_decision d)) item.prefix;
           let r =
-            Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ~want_split
+            Explorer.explore_subtree ~config:subtree_config ?on_feasible ?stop ?warm ~want_split
               ~on_split:give ~trace ~frozen:item.frozen main
           in
           finish item.key (Some r)
@@ -296,10 +302,95 @@ let explore_steal ~config ?on_feasible ?check ~jobs main =
   in
   merge ~t0 ~stopped:(Atomic.get halted) ~check:final_check ordered
 
-let explore ?(config = Explorer.default_config) ?on_feasible ?check ?(jobs = 1) ?split_depth
-    ?(strategy = `Steal) main =
-  if jobs <= 1 then Explorer.explore ~config ?on_feasible ?check main
+let explore ?(config = Explorer.default_config) ?on_feasible ?check ?warm ?(jobs = 1)
+    ?split_depth ?(strategy = `Steal) main =
+  if jobs <= 1 then Explorer.explore ~config ?on_feasible ?check ?warm main
   else
     match strategy with
-    | `Static -> explore_static ~config ?on_feasible ?check ~jobs ~split_depth main
-    | `Steal -> explore_steal ~config ?on_feasible ?check ~jobs main
+    | `Static -> explore_static ~config ?on_feasible ?check ?warm ~jobs ~split_depth main
+    | `Steal -> explore_steal ~config ?on_feasible ?check ?warm ~jobs main
+
+(* ------------------------------------------------------------------ *)
+(* Resident pool                                                       *)
+
+(* A long-lived domain pool for callers that process many independent
+   explorations over time (the serve daemon shards client jobs across
+   one of these instead of spawning domains per request). Tasks are
+   plain thunks drained FIFO; a task that raises is contained — the
+   exception is reported on stderr and the worker moves on, so one bad
+   job can never wedge the pool. *)
+
+type pool = {
+  p_mutex : Mutex.t;
+  p_cond : Condition.t;
+  p_queue : (unit -> unit) Queue.t;
+  mutable p_stop : bool;
+  mutable p_domains : unit Domain.t array;
+  p_size : int;
+}
+
+let pool_worker p () =
+  let rec loop () =
+    Mutex.lock p.p_mutex;
+    let rec next () =
+      match Queue.take_opt p.p_queue with
+      | Some task ->
+        Mutex.unlock p.p_mutex;
+        Some task
+      | None ->
+        if p.p_stop then begin
+          Mutex.unlock p.p_mutex;
+          None
+        end
+        else begin
+          Condition.wait p.p_cond p.p_mutex;
+          next ()
+        end
+    in
+    match next () with
+    | None -> ()
+    | Some task ->
+      (try task ()
+       with exn ->
+         Printf.eprintf "Mc.Parallel.pool: task raised %s\n%!" (Printexc.to_string exn));
+      loop ()
+  in
+  loop ()
+
+let pool_create ~jobs =
+  let jobs = max 1 jobs in
+  let p =
+    {
+      p_mutex = Mutex.create ();
+      p_cond = Condition.create ();
+      p_queue = Queue.create ();
+      p_stop = false;
+      p_domains = [||];
+      p_size = jobs;
+    }
+  in
+  (* Workers only touch the mutex/cond/queue fields, all fully
+     initialized above — filling [p_domains] afterwards is safe. *)
+  p.p_domains <- Array.init jobs (fun _ -> Domain.spawn (fun () -> pool_worker p ()));
+  p
+
+let pool_size p = p.p_size
+
+let pool_submit p task =
+  Mutex.lock p.p_mutex;
+  if p.p_stop then begin
+    Mutex.unlock p.p_mutex;
+    invalid_arg "Mc.Parallel.pool_submit: pool is shut down"
+  end
+  else begin
+    Queue.push task p.p_queue;
+    Condition.signal p.p_cond;
+    Mutex.unlock p.p_mutex
+  end
+
+let pool_shutdown p =
+  Mutex.lock p.p_mutex;
+  p.p_stop <- true;
+  Condition.broadcast p.p_cond;
+  Mutex.unlock p.p_mutex;
+  Array.iter Domain.join p.p_domains

@@ -48,13 +48,49 @@ val prefixes :
     [check] is snapshotted exactly once, after every domain has joined,
     and lands in the merged [stats.check]: the checking hook's counters
     are shared across domains (the cdsspec check cache is domain-safe),
-    so summing per-subtree snapshots would double-count. *)
+    so summing per-subtree snapshots would double-count.
+
+    [warm] is a read-only set of decision-point states proven fully
+    explored by an earlier run of the identical program/config (see
+    {!Explorer.explore}); it is shared across all domains without a
+    lock, which is safe because no explorer ever writes to it. The
+    merged [closed] is the union of every subtree's closures — each is
+    sound on its own, so the union is too. *)
 val explore :
   ?config:Explorer.config ->
   ?on_feasible:(C11.Execution.t -> Scheduler.annot list -> Bug.t list) ->
   ?check:(unit -> Explorer.check_counters) ->
+  ?warm:(Scheduler.prune_key, unit) Hashtbl.t ->
   ?jobs:int ->
   ?split_depth:int ->
   ?strategy:[ `Static | `Steal ] ->
   (unit -> unit) ->
   Explorer.result
+
+(** {1 Resident domain pool}
+
+    A long-lived pool of worker domains for callers that process many
+    independent explorations over time — the serve daemon shards client
+    jobs across one of these instead of paying a domain spawn per
+    request. Tasks are plain thunks drained FIFO. A task that raises is
+    contained (logged to stderr, worker moves on), so one bad job never
+    wedges the pool. Tasks that themselves call {!explore} with
+    [jobs > 1] would nest domain pools; the intended pattern is
+    job-level parallelism: each task explores serially ([jobs = 1]) and
+    the pool provides the concurrency. *)
+
+type pool
+
+(** [pool_create ~jobs] spawns [max 1 jobs] worker domains, idle until
+    tasks arrive. *)
+val pool_create : jobs:int -> pool
+
+(** Number of worker domains in the pool. *)
+val pool_size : pool -> int
+
+(** Enqueue a task. Raises [Invalid_argument] after {!pool_shutdown}. *)
+val pool_submit : pool -> (unit -> unit) -> unit
+
+(** Drain: workers finish all queued tasks, then exit and are joined.
+    Blocks until every worker has terminated. *)
+val pool_shutdown : pool -> unit

@@ -1,0 +1,33 @@
+(** Checking-as-a-service: the [cdsspec_run serve] daemon.
+
+    A long-lived process listening on a Unix-domain socket, accepting
+    check / lint / fuzz jobs as newline-delimited JSON (one message per
+    line, {!Analyze.Json.to_line} framing) and streaming progress events
+    and verdicts back. Jobs are sharded across a resident
+    {!Mc.Parallel.pool} of worker domains — each job explores serially
+    inside one worker, so concurrent clients get job-level parallelism
+    without nesting domain pools — and exploration results flow through
+    the persistent cross-run {!Store} when one is configured, so a
+    repeated job collapses to a warm re-validation.
+
+    Protocol summary (full schema in HACKING.md):
+
+    - requests: [{"op":"ping"}], [{"op":"list"}],
+      [{"op":"check","bench":B,...}], [{"op":"lint","bench":B,...}],
+      [{"op":"fuzz","bench":B,...}], [{"op":"shutdown"}]
+    - responses: every line is an object with an ["event"] field;
+      job-scoped events carry the ["job"] id assigned by the
+      ["accepted"] event. A job ends with exactly one ["done"] or
+      ["error"] event.
+
+    A client that disconnects mid-job does not wedge the pool: its
+    running jobs observe the dead connection through their stop hook and
+    abort within one exploration step; aborted (truncated) runs are
+    never written to the store. *)
+
+(** [serve ~socket ~jobs ?store_dir ()] binds [socket] (an existing
+    socket file is replaced), prints one "serving ..." line to stdout,
+    and blocks until a client sends [{"op":"shutdown"}]. [jobs] is the
+    resident worker-domain count. [store_dir], when given, is opened
+    with {!Store.open_dir} (engine-rev flush semantics apply). *)
+val serve : socket:string -> jobs:int -> ?store_dir:string -> unit -> unit

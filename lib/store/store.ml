@@ -1,0 +1,399 @@
+module B = Structures.Benchmark
+module Ords = Structures.Ords
+
+(* ------------------------------------------------------------------ *)
+(* FNV-1a — the repo's standard content fingerprint *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let hex64 h = Printf.sprintf "%016Lx" h
+
+(* ------------------------------------------------------------------ *)
+(* Store handle *)
+
+type stats = { mutable hits : int; mutable misses : int; mutable corrupt : int }
+
+type t = { dir : string; stats : stats; lock : Mutex.t }
+
+let dir t = t.dir
+
+let stats t = t.stats
+
+let meta_format = "cdsspec-store/1"
+
+let meta_path dir = Filename.concat dir "meta"
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  |> List.map (Filename.concat dir)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  with Sys_error _ | End_of_file -> None
+
+(* Atomic write: entries must never be observed half-written (the serve
+   daemon's workers and a concurrent CLI run may share a store dir). *)
+let write_file path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let flush_entries dir = List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) (entry_files dir)
+
+let open_dir dirname =
+  if not (Sys.file_exists dirname) then Sys.mkdir dirname 0o755;
+  let expected = Printf.sprintf "%s\n%s\n" meta_format Mc.Engine_rev.current in
+  (match read_file (meta_path dirname) with
+  | Some m when m = expected -> ()
+  | _ ->
+    (* Missing, malformed, or another engine revision: flush wholesale.
+       Coarse and safe — one cold rebuild, never a stale verdict. *)
+    flush_entries dirname;
+    write_file (meta_path dirname) expected);
+  { dir = dirname; stats = { hits = 0; misses = 0; corrupt = 0 }; lock = Mutex.create () }
+
+(* ------------------------------------------------------------------ *)
+(* Keys *)
+
+type key = { descr : string; fp : string }
+
+let fingerprint k = k.fp
+
+let job_key ~kind ~bench ~test ~ords ~sched ~prune ~engine ~max_execs ~checker ~use_cache =
+  let buf = Buffer.create 256 in
+  let add s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\x1f'
+  in
+  add (match kind with `Check -> "check" | `Advisor -> "advisor");
+  add bench;
+  add test;
+  List.iter
+    (fun (site, order) ->
+      add site;
+      add (C11.Memory_order.to_string order))
+    ords;
+  add (string_of_int sched.Mc.Scheduler.loop_bound);
+  add (string_of_int sched.Mc.Scheduler.max_actions);
+  add (string_of_bool sched.Mc.Scheduler.sleep_sets);
+  add (string_of_bool prune);
+  add (match engine with `Arena -> "arena" | `Legacy -> "legacy");
+  add (match max_execs with None -> "none" | Some m -> string_of_int m);
+  add (string_of_int checker.Cdsspec.Checker.max_histories);
+  add
+    (match checker.Cdsspec.Checker.sample_histories with
+    | None -> "none"
+    | Some (count, seed) -> Printf.sprintf "%d:%d" count seed);
+  add (string_of_int checker.Cdsspec.Checker.max_prefixes);
+  add (string_of_bool checker.Cdsspec.Checker.strict_histories);
+  add (string_of_bool checker.Cdsspec.Checker.legacy_replay);
+  add (string_of_bool use_cache);
+  let descr = Buffer.contents buf in
+  { descr; fp = hex64 (fnv64 descr) }
+
+(* ------------------------------------------------------------------ *)
+(* Entry codec *)
+
+type entry = {
+  graphs : int64 list;
+  closed : Mc.Scheduler.prune_key list;
+  check_entries : Cdsspec.Checker.cache_entry list;
+  behaviours : (string * int64 list) list;
+  explored : int;
+  time : float;
+}
+
+let magic = "CDSS1"
+
+exception Corrupt
+
+let put_i64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let put_int buf v = put_i64 buf (Int64.of_int v)
+
+let put_bool buf v = Buffer.add_char buf (if v then '\x01' else '\x00')
+
+let put_str buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_i64_list buf l =
+  put_int buf (List.length l);
+  List.iter (put_i64 buf) l
+
+type reader = { src : string; mutable pos : int }
+
+let need r n = if r.pos + n > String.length r.src then raise Corrupt
+
+let get_i64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.src.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let get_int r =
+  let v = Int64.to_int (get_i64 r) in
+  if v < 0 then raise Corrupt;
+  v
+
+let get_bool r =
+  need r 1;
+  let c = r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with '\x00' -> false | '\x01' -> true | _ -> raise Corrupt
+
+let get_str r =
+  let n = get_int r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* Length-prefixed lists bound-check the count before allocating: a
+   corrupt count must fail cleanly, not OOM. *)
+let get_list r f =
+  let n = get_int r in
+  if n > String.length r.src then raise Corrupt;
+  List.init n (fun _ -> f r)
+
+let get_i64_list r = get_list r get_i64
+
+let violation_kind_tag = function
+  | `Admissibility -> 0
+  | `Assertion -> 1
+  | `Unjustified -> 2
+  | `Cyclic_ordering -> 3
+  | `Truncated -> 4
+
+let violation_kind_of_tag = function
+  | 0 -> `Admissibility
+  | 1 -> `Assertion
+  | 2 -> `Unjustified
+  | 3 -> `Cyclic_ordering
+  | 4 -> `Truncated
+  | _ -> raise Corrupt
+
+let put_violation buf (v : Cdsspec.Checker.violation) =
+  put_int buf (violation_kind_tag v.kind);
+  put_str buf v.message
+
+let get_violation r : Cdsspec.Checker.violation =
+  let kind = violation_kind_of_tag (get_int r) in
+  let message = get_str r in
+  { kind; message }
+
+let put_prune_key buf (k : Mc.Scheduler.prune_key) =
+  put_i64 buf k.fp;
+  put_int buf (List.length k.sleeping);
+  List.iter (put_int buf) k.sleeping;
+  put_int buf k.nacts
+
+let get_prune_key r : Mc.Scheduler.prune_key =
+  let fp = get_i64 r in
+  let sleeping = get_list r get_int in
+  let nacts = get_int r in
+  { fp; sleeping; nacts }
+
+let put_check_entry buf (e : Cdsspec.Checker.cache_entry) =
+  put_str buf e.entry_key;
+  put_int buf (List.length e.entry_verdict);
+  List.iter (put_violation buf) e.entry_verdict;
+  put_bool buf e.entry_h_trunc;
+  put_bool buf e.entry_p_trunc
+
+let get_check_entry r : Cdsspec.Checker.cache_entry =
+  let entry_key = get_str r in
+  let entry_verdict = get_list r get_violation in
+  let entry_h_trunc = get_bool r in
+  let entry_p_trunc = get_bool r in
+  { entry_key; entry_verdict; entry_h_trunc; entry_p_trunc }
+
+let encode key e =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  (* Key-string echo: two jobs colliding on the 64-bit fingerprint must
+     read each other's entries as misses, not as wrong answers. *)
+  put_str buf key.descr;
+  put_i64_list buf e.graphs;
+  put_int buf (List.length e.closed);
+  List.iter (put_prune_key buf) e.closed;
+  put_int buf (List.length e.check_entries);
+  List.iter (put_check_entry buf) e.check_entries;
+  put_int buf (List.length e.behaviours);
+  List.iter
+    (fun (name, fps) ->
+      put_str buf name;
+      put_i64_list buf fps)
+    e.behaviours;
+  put_int buf e.explored;
+  put_i64 buf (Int64.bits_of_float e.time);
+  let body = Buffer.contents buf in
+  let trailer = Buffer.create 8 in
+  put_i64 trailer (fnv64 body);
+  body ^ Buffer.contents trailer
+
+let decode key s =
+  let n = String.length s in
+  if n < String.length magic + 8 then raise Corrupt;
+  let body = String.sub s 0 (n - 8) in
+  let hash_r = { src = s; pos = n - 8 } in
+  if get_i64 hash_r <> fnv64 body then raise Corrupt;
+  let r = { src = body; pos = 0 } in
+  need r (String.length magic);
+  if String.sub body 0 (String.length magic) <> magic then raise Corrupt;
+  r.pos <- String.length magic;
+  let descr = get_str r in
+  if descr <> key.descr then raise Corrupt;
+  let graphs = get_i64_list r in
+  let closed = get_list r get_prune_key in
+  let check_entries = get_list r get_check_entry in
+  let behaviours =
+    get_list r (fun r ->
+        let name = get_str r in
+        let fps = get_i64_list r in
+        (name, fps))
+  in
+  let explored = get_int r in
+  let time = Int64.float_of_bits (get_i64 r) in
+  if r.pos <> String.length body then raise Corrupt;
+  { graphs; closed; check_entries; behaviours; explored; time }
+
+let entry_path t key = Filename.concat t.dir (key.fp ^ ".bin")
+
+let load t key =
+  let path = entry_path t key in
+  let bump f = Mutex.protect t.lock (fun () -> f t.stats) in
+  match read_file path with
+  | None ->
+    bump (fun s -> s.misses <- s.misses + 1);
+    None
+  | Some raw -> (
+    match decode key raw with
+    | e ->
+      bump (fun s -> s.hits <- s.hits + 1);
+      Some e
+    | exception Corrupt ->
+      (* Discard, never trust: a bad entry is a miss plus a deletion. *)
+      (try Sys.remove path with Sys_error _ -> ());
+      bump (fun s ->
+          s.corrupt <- s.corrupt + 1;
+          s.misses <- s.misses + 1);
+      None)
+
+let save t key e = write_file (entry_path t key) (encode key e)
+
+(* ------------------------------------------------------------------ *)
+(* Checked exploration through the store *)
+
+let union_closed a b =
+  let h : (Mc.Scheduler.prune_key, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun k -> Hashtbl.replace h k ()) a;
+  List.iter (fun k -> Hashtbl.replace h k ()) b;
+  Hashtbl.fold (fun k () acc -> k :: acc) h []
+
+let explore_checked ?store ?stop ?progress ~checker ~use_cache ~max_execs ~jobs ~prune ~engine
+    (b : B.t) ~ords (t : B.test) =
+  let cache = Cdsspec.Checker.create_cache ~memoize:use_cache () in
+  let key =
+    Option.map
+      (fun _ ->
+        job_key ~kind:`Check ~bench:b.name ~test:t.test_name ~ords:(Ords.to_list ords)
+          ~sched:b.scheduler ~prune ~engine ~max_execs ~checker ~use_cache)
+      store
+  in
+  let stored =
+    match store, key with Some s, Some k -> load s k | _ -> None
+  in
+  (match stored with
+  | Some e -> Cdsspec.Checker.import_entries cache e.check_entries
+  | None -> ());
+  let warm =
+    match stored with
+    | Some e when prune ->
+      let h = Hashtbl.create (max 16 (List.length e.closed)) in
+      List.iter (fun k -> Hashtbl.replace h k ()) e.closed;
+      Some h
+    | _ -> None
+  in
+  let config =
+    {
+      Mc.Explorer.scheduler = b.scheduler;
+      max_executions = max_execs;
+      progress;
+      prune;
+      engine;
+    }
+  in
+  let on_feasible = Cdsspec.Checker.hook ~config:checker ~cache b.spec in
+  let check () = Cdsspec.Checker.cache_counters cache in
+  let program = t.program ords in
+  let r =
+    match stop with
+    | Some stop ->
+      (* Cancellable path (the serve daemon): serial, polled per run. *)
+      Mc.Explorer.explore_subtree ~config ~on_feasible ~check ~stop ?warm
+        ~trace:(C11.Vec.create ()) ~frozen:0 program
+    | None -> Mc.Parallel.explore ~config ~on_feasible ~check ?warm ~jobs program
+  in
+  (* A warm run only re-discovers graphs reachable without entering a
+     closed subtree; the stored set is the rest. The union equals the
+     cold run's graph set exactly. *)
+  let r =
+    match stored with
+    | None -> r
+    | Some e ->
+      let graphs = List.sort_uniq Int64.compare (List.rev_append e.graphs r.graphs) in
+      {
+        r with
+        graphs;
+        closed = union_closed e.closed r.closed;
+        stats = { r.stats with distinct_graphs = List.length graphs };
+      }
+  in
+  (* Save only complete, clean, pruning-on runs: nothing else can be
+     replayed from closed keys alone, and bugs/truncations never need
+     serializing. *)
+  (match store, key with
+  | Some s, Some k when prune && r.bugs = [] && not r.stats.truncated ->
+    let explored =
+      match stored with Some e -> e.explored | None -> r.stats.explored
+    in
+    let time = match stored with Some e -> e.time | None -> r.stats.time in
+    save s k
+      {
+        graphs = r.graphs;
+        closed = r.closed;
+        check_entries = Cdsspec.Checker.export_entries cache;
+        behaviours = [];
+        explored;
+        time;
+      }
+  | _ -> ());
+  let disposition =
+    match store with None -> `Off | Some _ -> ( match stored with Some _ -> `Hit | None -> `Miss)
+  in
+  (r, disposition)

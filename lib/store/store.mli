@@ -1,0 +1,122 @@
+(** Persistent cross-run result store: the disk half of
+    checking-as-a-service.
+
+    A store is a directory of binary entry files, each holding the
+    artifacts of one fully-completed exploration — the distinct-graph
+    fingerprint set, the closed prune keys ({!Mc.Explorer.result}
+    [closed]), the memoized check-cache verdicts, and (for advisor
+    entries) per-test behaviour fingerprint sets. Entries are keyed by a
+    canonical fingerprint of everything the result is a function of: the
+    program identity (benchmark + test name), the full per-site
+    memory-order table, the scheduler bounds, the explorer and checker
+    configs.
+
+    Soundness rests on two rules, both coarse by design:
+
+    - {b Engine-rev flush}: the directory records
+      {!Mc.Engine_rev.current}; on any mismatch {!open_dir} deletes every
+      entry wholesale. Invalidation is coarse and safe, never clever and
+      wrong — a semantics change anywhere in the engine costs one cold
+      rebuild, not a wrong verdict.
+    - {b Complete-and-clean only}: {!explore_checked} saves an entry only
+      for bug-free, non-truncated, pruning-on runs. A warm hit therefore
+      never has to reproduce serialized bugs or truncation warnings —
+      the stored verdict is "clean", and the warm run re-derives
+      everything else identically.
+
+    Corruption is handled the same way: an entry that fails its length,
+    magic, trailing-hash or key-echo check is deleted and reported as a
+    miss, never trusted. *)
+
+type t
+
+(** [open_dir dir] creates [dir] if needed, then validates its [meta]
+    file: a missing, malformed, or engine-rev-mismatched meta flushes
+    every entry and rewrites meta for the current engine. *)
+val open_dir : string -> t
+
+val dir : t -> string
+
+(** Lookup/decode accounting since [open_dir]. [corrupt] counts entries
+    deleted because they failed a decode check. *)
+type stats = { mutable hits : int; mutable misses : int; mutable corrupt : int }
+
+val stats : t -> stats
+
+(** {2 Keys and entries} *)
+
+(** Canonical job key: carries both the human-readable description
+    string and its fingerprint (the entry filename). *)
+type key
+
+(** [`Check] entries hold graphs/closed/check-cache; [`Advisor] entries
+    hold per-test behaviour sets (the advisor explores with pruning off,
+    so it has no closed keys to save). *)
+val job_key :
+  kind:[ `Check | `Advisor ] ->
+  bench:string ->
+  test:string ->
+  ords:(string * C11.Memory_order.t) list ->
+  sched:Mc.Scheduler.config ->
+  prune:bool ->
+  engine:[ `Arena | `Legacy ] ->
+  max_execs:int option ->
+  checker:Cdsspec.Checker.config ->
+  use_cache:bool ->
+  key
+
+(** The fingerprint in hex — the entry's filename stem; exposed for the
+    tests and the serve protocol's job echo. *)
+val fingerprint : key -> string
+
+type entry = {
+  graphs : int64 list;  (** sorted canonical execution-graph fingerprints *)
+  closed : Mc.Scheduler.prune_key list;
+      (** fully-explored decision-point states — a later identical run
+          preloads these as the explorer's [warm] set *)
+  check_entries : Cdsspec.Checker.cache_entry list;
+  behaviours : (string * int64 list) list;
+      (** advisor entries: per-test behaviour fingerprints, test order *)
+  explored : int;  (** the original cold run's execution count *)
+  time : float;  (** the original cold run's wall-clock seconds *)
+}
+
+(** [None] on absent, corrupt (deleted, counted) or key-collision
+    entries. *)
+val load : t -> key -> entry option
+
+(** Atomic (write-to-temp, rename) entry write. *)
+val save : t -> key -> entry -> unit
+
+(** {2 Checked exploration through the store} *)
+
+(** [explore_checked ?store ... b ~ords t] is the one checked-exploration
+    path shared by [cdsspec_run check --store], the serve daemon and the
+    benchmarks: build a check cache, consult the store, explore, check,
+    and save back.
+
+    On a store hit the entry's closed prune keys become the explorer's
+    [warm] set and its memoized verdicts preload the check cache, so the
+    exploration collapses to the handful of runs needed to re-prune each
+    closed subtree at its root; the stored graph set is merged back into
+    the result, making graphs, bugs and verdicts identical to the cold
+    run's. On a miss (or with no store) this is exactly the cold path.
+
+    [stop] forces a serial exploration polled per run (the serve daemon
+    cancels abandoned jobs this way); [jobs] is used otherwise.
+    Truncated or stopped runs are never saved. Returns the result plus
+    the store disposition. *)
+val explore_checked :
+  ?store:t ->
+  ?stop:(unit -> bool) ->
+  ?progress:(int -> unit) ->
+  checker:Cdsspec.Checker.config ->
+  use_cache:bool ->
+  max_execs:int option ->
+  jobs:int ->
+  prune:bool ->
+  engine:[ `Arena | `Legacy ] ->
+  Structures.Benchmark.t ->
+  ords:Structures.Ords.t ->
+  Structures.Benchmark.test ->
+  Mc.Explorer.result * [ `Off | `Miss | `Hit ]

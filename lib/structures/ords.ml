@@ -41,7 +41,24 @@ let with_order sites name order =
     invalid_arg ("Ords.with_order: unknown site " ^ name);
   table (List.map (fun s -> (s.name, if s.name = name then order else s.order)) sites)
 
+let with_overrides sites overrides =
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun s -> s.name = name) sites) then
+        invalid_arg ("Ords.with_overrides: unknown site " ^ name))
+    overrides;
+  List.map
+    (fun s ->
+      match List.assoc_opt s.name overrides with
+      | Some order -> { s with order }
+      | None -> s)
+    sites
+
 let weakenable sites = List.filter (fun s -> Mo.weaken s.kind s.order <> None) sites
+
+let to_list t =
+  Hashtbl.fold (fun name order acc -> (name, order) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let get t name =
   match Hashtbl.find_opt t name with

@@ -31,8 +31,18 @@ val downgrades : site -> C11.Memory_order.t list
 (** [with_order sites name order] pins one site to an arbitrary order. *)
 val with_order : site list -> string -> C11.Memory_order.t -> t
 
+(** [with_overrides sites pins] is [sites] with each [(name, order)] pin
+    applied — the site-list form, so the result can still be fed to
+    {!default} or {!weakened}. Raises [Invalid_argument] on a pin naming
+    no site: a silently-dropped typo would check the wrong program. *)
+val with_overrides : site list -> (string * C11.Memory_order.t) list -> site list
+
 (** Sites that can be weakened at least one step. *)
 val weakenable : site list -> site list
+
+(** The table's (site, order) pairs sorted by site name — the canonical
+    form the persistent store fingerprints. *)
+val to_list : t -> (string * C11.Memory_order.t) list
 
 (** [get t name] — raises [Invalid_argument] on unknown sites, which
     catches typos in implementations. *)

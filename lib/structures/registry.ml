@@ -42,5 +42,52 @@ let exhaustive =
 
 let sites (b : Benchmark.t) = b.sites
 
+(* Levenshtein distance, the plain O(n*m) two-row version — names are
+   short and the registry has a few dozen entries, so this runs in
+   microseconds on the error path only. *)
+let edit_distance a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 then m
+  else if m = 0 then n
+  else begin
+    let prev = Array.init (m + 1) (fun j -> j) in
+    let curr = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      curr.(0) <- i;
+      for j = 1 to m do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let suggest name =
+  let lower = String.lowercase_ascii name in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    nn > 0 && nh >= nn
+    && (let found = ref false in
+        for i = 0 to nh - nn do
+          if (not !found) && String.sub hay i nn = needle then found := true
+        done;
+        !found)
+  in
+  let scored =
+    List.filter_map
+      (fun (b : Benchmark.t) ->
+        let cand = String.lowercase_ascii b.name in
+        (* substring matches outrank edit-distance matches: "queue"
+           should offer every queue, not whatever is 3 edits away *)
+        if contains cand lower || contains lower cand then Some (0, b.name)
+        else
+          let d = edit_distance lower cand in
+          if d <= 3 then Some (d, b.name) else None)
+      all
+  in
+  List.sort compare scored |> List.map snd |> fun l ->
+  List.filteri (fun i _ -> i < 3) l
+
 let advisor_coverage (b : Benchmark.t) =
   (List.length (Ords.weakenable b.sites), List.length b.sites)

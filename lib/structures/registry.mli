@@ -12,6 +12,13 @@ val exhaustive : Benchmark.t list
 (** Uniform access to a benchmark's injectable site table. *)
 val sites : Benchmark.t -> Ords.site list
 
+(** [suggest name] is up to three registered benchmark names close to
+    [name] — case-insensitive substring matches first, then names within
+    Levenshtein distance 3 — for the "unknown structure" error paths of
+    [cdsspec_run check] and the serve daemon. Empty when nothing is
+    plausibly close. *)
+val suggest : string -> string list
+
 (** [advisor_coverage b] is [(weakenable, total)] — how many of [b]'s
     sites the weakening advisor can act on, out of how many declared
     sites. [cdsspec_run list] surfaces this as advisor applicability. *)

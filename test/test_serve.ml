@@ -1,0 +1,346 @@
+(* PR-7 protocol tests for the serve daemon.
+
+   The daemon runs in an in-process domain on a scratch Unix socket; the
+   tests drive it through {!Serve.Client}, the same code path the
+   [cdsspec_run client] subcommand uses. Verdicts streamed over the
+   protocol are pinned against direct {!Store.explore_checked} runs —
+   the serve layer must be a transport, never a semantics change. *)
+
+module J = Analyze.Json
+module B = Structures.Benchmark
+
+let cap = 30_000
+
+(* ------------------------------------------------------------------ *)
+(* JSON wire format *)
+
+let samples =
+  [
+    J.Null;
+    J.Bool true;
+    J.Bool false;
+    J.Int 0;
+    J.Int (-42);
+    J.Int max_int;
+    J.Float 1.5;
+    J.Float (-0.25);
+    J.Str "";
+    J.Str "plain";
+    J.Str "esc \" \\ \n \t \r \x01 end";
+    J.Str "caf\xc3\xa9";
+    J.List [];
+    J.List [ J.Int 1; J.Str "two"; J.Null ];
+    J.Obj [];
+    J.Obj
+      [
+        ("event", J.Str "result");
+        ("bugs", J.List [ J.Obj [ ("key", J.Str "k"); ("message", J.Str "line1\nline2") ] ]);
+        ("nested", J.Obj [ ("deep", J.List [ J.List [ J.Bool false ] ]) ]);
+      ];
+  ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun j ->
+      (match J.of_string (J.to_line j) with
+      | Ok j' -> Alcotest.(check bool) ("to_line roundtrip: " ^ J.to_line j) true (j = j')
+      | Error m -> Alcotest.fail ("to_line roundtrip failed: " ^ m));
+      match J.of_string (J.to_string j) with
+      | Ok j' -> Alcotest.(check bool) ("to_string roundtrip: " ^ J.to_line j) true (j = j')
+      | Error m -> Alcotest.fail ("to_string roundtrip failed: " ^ m))
+    samples;
+  (* NDJSON framing invariant: one event, one line *)
+  List.iter
+    (fun j ->
+      Alcotest.(check bool)
+        "compact form never contains a newline"
+        false
+        (String.contains (J.to_line j) '\n'))
+    samples
+
+let test_json_errors () =
+  let rejects what s =
+    match J.of_string s with
+    | Ok _ -> Alcotest.fail (what ^ ": should be rejected: " ^ s)
+    | Error _ -> ()
+  in
+  rejects "empty" "";
+  rejects "trailing garbage" "{} x";
+  rejects "bare word" "treiber";
+  rejects "unterminated string" "\"abc";
+  rejects "unterminated object" "{\"a\": 1";
+  rejects "missing colon" "{\"a\" 1}";
+  rejects "trailing comma" "[1,]";
+  (match J.of_string "  { \"a\" : [ 1 , 2.5 ] } " with
+  | Ok (J.Obj [ ("a", J.List [ J.Int 1; J.Float 2.5 ]) ]) -> ()
+  | Ok _ -> Alcotest.fail "whitespace parse wrong shape"
+  | Error m -> Alcotest.fail ("whitespace parse failed: " ^ m))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon harness *)
+
+let socket_counter = ref 0
+
+(* Run [f] against an in-process daemon; clean shutdown (with the "bye"
+   ack) and domain join are part of every test's teardown, so a wedged
+   server fails the test rather than leaking. *)
+let with_server ?store_dir ~jobs f =
+  incr socket_counter;
+  let socket = Printf.sprintf "serve-test-%d.sock" !socket_counter in
+  if Sys.file_exists socket then Sys.remove socket;
+  let d = Domain.spawn (fun () -> Serve.Server.serve ~socket ~jobs ?store_dir ()) in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check bool) "server socket appears" true (Sys.file_exists socket);
+  Fun.protect
+    ~finally:(fun () ->
+      (let c = Serve.Client.connect socket in
+       Serve.Client.send c (J.Obj [ ("op", J.Str "shutdown") ]);
+       (match Serve.Client.recv ~timeout:30. c with
+       | Serve.Client.Msg j ->
+         Alcotest.(check (option string))
+           "shutdown acked with bye" (Some "bye")
+           (Option.bind (J.member "event" j) J.to_str)
+       | _ -> Alcotest.fail "no bye on shutdown");
+       Serve.Client.close c);
+      Domain.join d;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> f socket)
+
+let ev j = Option.bind (J.member "event" j) J.to_str
+let str_f k j = Option.bind (J.member k j) J.to_str
+let int_f k j = Option.bind (J.member k j) J.to_int
+
+(* Like {!Serve.Client.wait} but with a timeout on every line, so a
+   wedged daemon fails loudly instead of hanging the suite. *)
+let wait_job c ~job =
+  let rec go acc =
+    match Serve.Client.recv ~timeout:300. c with
+    | Serve.Client.Timeout -> Alcotest.fail "timed out waiting for job events"
+    | Serve.Client.Eof -> Alcotest.fail "server closed connection mid-job"
+    | Serve.Client.Msg j -> (
+      if Serve.Client.job_id j <> Some job then go acc
+      else
+        let acc = j :: acc in
+        match ev j with Some ("done" | "error") -> List.rev acc | _ -> go acc)
+  in
+  go []
+
+let submit c req =
+  Serve.Client.send c req;
+  match Serve.Client.recv ~timeout:30. c with
+  | Serve.Client.Msg j when ev j = Some "accepted" -> (
+    match Serve.Client.job_id j with
+    | Some job -> job
+    | None -> Alcotest.fail "accepted event without job id")
+  | Serve.Client.Msg j -> Alcotest.fail ("expected accepted, got " ^ J.to_line j)
+  | _ -> Alcotest.fail "no accepted event"
+
+let check_req ?test bench =
+  J.Obj
+    ([ ("op", J.Str "check"); ("bench", J.Str bench); ("max_executions", J.Int cap) ]
+    @ match test with Some t -> [ ("test", J.Str t) ] | None -> [])
+
+(* The protocol-visible summary of one result event. *)
+let result_summary j =
+  ( Option.get (str_f "test" j),
+    (match J.member "bugs" j with
+    | Some (J.List bs) -> List.filter_map (str_f "key") bs
+    | _ -> []),
+    Option.get (int_f "explored" j),
+    Option.get (int_f "distinct_graphs" j) )
+
+let results_of events =
+  List.filter_map (fun j -> if ev j = Some "result" then Some (result_summary j) else None) events
+
+(* Reference: what a direct in-process check of the same job reports. *)
+let direct_results ?store bench ~test =
+  let b = Option.get (Structures.Registry.find bench) in
+  let ords = Structures.Ords.default b.B.sites in
+  let tests =
+    match test with
+    | None -> b.B.tests
+    | Some t -> List.filter (fun (x : B.test) -> x.B.test_name = t) b.B.tests
+  in
+  List.map
+    (fun (t : B.test) ->
+      let r, _ =
+        Store.explore_checked ?store ~checker:Cdsspec.Checker.default_config ~use_cache:true
+          ~max_execs:(Some cap) ~jobs:1 ~prune:true ~engine:`Arena b ~ords t
+      in
+      (t.B.test_name, List.map Mc.Bug.key r.Mc.Explorer.bugs, r.Mc.Explorer.stats.explored,
+       r.Mc.Explorer.stats.distinct_graphs))
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Protocol tests *)
+
+let test_ping_and_list () =
+  with_server ~jobs:2 (fun socket ->
+      let c = Serve.Client.connect socket in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+          Serve.Client.send c (J.Obj [ ("op", J.Str "ping") ]);
+          (match Serve.Client.recv ~timeout:30. c with
+          | Serve.Client.Msg j ->
+            Alcotest.(check (option string)) "pong" (Some "pong") (ev j);
+            Alcotest.(check (option string))
+              "pong carries the engine revision"
+              (Some Mc.Engine_rev.current)
+              (str_f "engine_rev" j);
+            Alcotest.(check (option int)) "pong reports pool size" (Some 2) (int_f "jobs" j)
+          | _ -> Alcotest.fail "no pong");
+          Serve.Client.send c (J.Obj [ ("op", J.Str "list") ]);
+          match Serve.Client.recv ~timeout:30. c with
+          | Serve.Client.Msg j -> (
+            Alcotest.(check (option string)) "benchmarks event" (Some "benchmarks") (ev j);
+            match J.member "benchmarks" j with
+            | Some (J.List bs) ->
+              let names = List.filter_map (str_f "name") bs in
+              Alcotest.(check bool)
+                "list includes Treiber Stack" true
+                (List.mem "Treiber Stack" names)
+            | _ -> Alcotest.fail "benchmarks field missing")
+          | _ -> Alcotest.fail "no benchmarks event"))
+
+let test_unknown_bench_suggestions () =
+  with_server ~jobs:1 (fun socket ->
+      let c = Serve.Client.connect socket in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+          let job = submit c (check_req "treiber stak") in
+          match wait_job c ~job with
+          | [ j ] ->
+            Alcotest.(check (option string)) "job fails" (Some "error") (ev j);
+            let sugg =
+              match J.member "suggestions" j with
+              | Some (J.List l) -> List.filter_map J.to_str l
+              | _ -> []
+            in
+            Alcotest.(check bool)
+              "error suggests the real name" true
+              (List.mem "Treiber Stack" sugg)
+          | evs ->
+            Alcotest.fail
+              (Printf.sprintf "expected a single error event, got %d events" (List.length evs))))
+
+let test_bad_override () =
+  with_server ~jobs:1 (fun socket ->
+      let c = Serve.Client.connect socket in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+          Serve.Client.send c
+            (J.Obj
+               [
+                 ("op", J.Str "check");
+                 ("bench", J.Str "Treiber Stack");
+                 ("overrides", J.List [ J.List [ J.Str "no_such_site"; J.Str "relaxed" ] ]);
+               ]);
+          (* accepted, then a structured error — a typo'd pin must never
+             silently check the published table instead *)
+          (match Serve.Client.recv ~timeout:30. c with
+          | Serve.Client.Msg j -> Alcotest.(check (option string)) "accepted" (Some "accepted") (ev j)
+          | _ -> Alcotest.fail "no accepted event");
+          match Serve.Client.recv ~timeout:60. c with
+          | Serve.Client.Msg j -> Alcotest.(check (option string)) "error" (Some "error") (ev j)
+          | _ -> Alcotest.fail "no error event"))
+
+let test_concurrent_clients () =
+  (* two clients with overlapping jobs on a 2-worker pool; each client's
+     verdicts must match a direct run of the same job *)
+  let expect_a = direct_results "Treiber Stack" ~test:None in
+  let expect_b = direct_results "M&S Queue" ~test:(Some "2enq-2deq") in
+  with_server ~jobs:2 (fun socket ->
+      let ca = Serve.Client.connect socket in
+      let cb = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close ca;
+          Serve.Client.close cb)
+        (fun () ->
+          let ja = submit ca (check_req "Treiber Stack") in
+          let jb = submit cb (check_req "M&S Queue" ~test:"2enq-2deq") in
+          let evs_a = wait_job ca ~job:ja in
+          let evs_b = wait_job cb ~job:jb in
+          Alcotest.(check bool)
+            "client A verdicts match direct check" true
+            (results_of evs_a = expect_a);
+          Alcotest.(check bool)
+            "client B verdicts match direct check" true
+            (results_of evs_b = expect_b);
+          let done_ok evs =
+            match List.rev evs with
+            | last :: _ when ev last = Some "done" -> J.member "ok" last = Some (J.Bool true)
+            | _ -> false
+          in
+          Alcotest.(check bool) "client A done ok" true (done_ok evs_a);
+          Alcotest.(check bool) "client B done ok" true (done_ok evs_b)))
+
+let test_disconnect_does_not_wedge () =
+  with_server ~jobs:1 (fun socket ->
+      (* client 1 submits a multi-test job and vanishes right after the
+         accept — on a 1-worker pool a wedged or fd-racing worker would
+         stall every later job *)
+      let c1 = Serve.Client.connect socket in
+      let _job = submit c1 (check_req "M&S Queue") in
+      Serve.Client.close c1;
+      let c2 = Serve.Client.connect socket in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c2) (fun () ->
+          let job = submit c2 (check_req "Treiber Stack" ~test:"2push-2pop") in
+          let evs = wait_job c2 ~job in
+          match List.rev evs with
+          | last :: _ ->
+            Alcotest.(check (option string))
+              "job after disconnect completes" (Some "done") (ev last)
+          | [] -> Alcotest.fail "no events for post-disconnect job"))
+
+let test_store_warm_over_protocol () =
+  let dir = "serve-store-scratch" in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  with_server ~jobs:1 ~store_dir:dir (fun socket ->
+      let c = Serve.Client.connect socket in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+          let req = check_req "M&S Queue" ~test:"2enq-2deq" in
+          let cold = wait_job c ~job:(submit c req) in
+          let warm = wait_job c ~job:(submit c req) in
+          let dispo evs =
+            List.filter_map (fun j -> if ev j = Some "result" then str_f "store" j else None) evs
+          in
+          Alcotest.(check (list string)) "first job is cold" [ "miss" ] (dispo cold);
+          Alcotest.(check (list string)) "second job is warm" [ "hit" ] (dispo warm);
+          Alcotest.(check bool)
+            "warm verdicts identical over the wire" true
+            (results_of cold
+            |> List.map (fun (t, bugs, _, g) -> (t, bugs, g))
+            = (results_of warm |> List.map (fun (t, bugs, _, g) -> (t, bugs, g))));
+          let explored evs = List.map (fun (_, _, e, _) -> e) (results_of evs) in
+          Alcotest.(check bool)
+            "warm job collapses" true
+            (List.for_all2 (fun w c -> w <= c) (explored warm) (explored cold))));
+  rm_rf dir
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "printer/parser roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "ping and list" `Quick test_ping_and_list;
+          Alcotest.test_case "unknown bench suggestions" `Quick test_unknown_bench_suggestions;
+          Alcotest.test_case "bad override" `Quick test_bad_override;
+          Alcotest.test_case "concurrent clients" `Slow test_concurrent_clients;
+          Alcotest.test_case "disconnect does not wedge pool" `Quick test_disconnect_does_not_wedge;
+          Alcotest.test_case "warm store over protocol" `Quick test_store_warm_over_protocol;
+        ] );
+    ]

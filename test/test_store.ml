@@ -1,0 +1,355 @@
+(* PR-7 tests for the persistent cross-run result store.
+
+   The store soundness contract: a warm re-run of an identical job must
+   report exactly the cold run's verdicts — same distinct-graph set,
+   same deduplicated bug keys, same first buggy trace — in serial and
+   under [-j2]; and the store must treat anything suspicious (corrupt
+   entry, truncated file, foreign engine revision) as a miss plus a
+   deletion, never as an answer. *)
+
+module E = Mc.Explorer
+module B = Structures.Benchmark
+module Ords = Structures.Ords
+
+let cap = 30_000
+
+(* Fresh scratch directory per call, under the test sandbox cwd. *)
+let scratch_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_dir () =
+  incr scratch_counter;
+  let d = Printf.sprintf "store-scratch-%d" !scratch_counter in
+  rm_rf d;
+  d
+
+let checker = Cdsspec.Checker.default_config
+
+let run ?store ~jobs ~prune (b : B.t) ~ords (t : B.test) =
+  Store.explore_checked ?store ~checker ~use_cache:true ~max_execs:(Some cap) ~jobs ~prune
+    ~engine:`Arena b ~ords t
+
+let keys (r : E.result) = List.map Mc.Bug.key r.bugs
+
+let check_semantics ~where (cold : E.result) (warm : E.result) =
+  Alcotest.(check bool) (where ^ ": graph sets identical") true (cold.graphs = warm.graphs);
+  Alcotest.(check int)
+    (where ^ ": distinct graphs")
+    cold.stats.distinct_graphs warm.stats.distinct_graphs;
+  Alcotest.(check (list string)) (where ^ ": bug keys") (keys cold) (keys warm);
+  Alcotest.(check (option string))
+    (where ^ ": first buggy trace")
+    cold.first_buggy_trace warm.first_buggy_trace
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+let default_key ?(kind = `Check) ?(test = "t") ?(prune = true) ?(max_execs = Some cap) ords =
+  Store.job_key ~kind ~bench:"bench" ~test ~ords ~sched:Mc.Scheduler.default_config ~prune
+    ~engine:`Arena ~max_execs ~checker ~use_cache:true
+
+let test_fingerprint_stability () =
+  let ords = [ ("a", C11.Memory_order.Seq_cst); ("b", C11.Memory_order.Acquire) ] in
+  Alcotest.(check string)
+    "same key, same fingerprint"
+    (Store.fingerprint (default_key ords))
+    (Store.fingerprint (default_key ords));
+  let base = Store.fingerprint (default_key ords) in
+  let differs what k =
+    Alcotest.(check bool) (what ^ " changes the fingerprint") false (Store.fingerprint k = base)
+  in
+  differs "kind" (default_key ~kind:`Advisor ords);
+  differs "test name" (default_key ~test:"other" ords);
+  differs "ords table" (default_key [ ("a", C11.Memory_order.Relaxed); ("b", C11.Memory_order.Acquire) ]);
+  differs "prune flag" (default_key ~prune:false ords);
+  differs "max_executions" (default_key ~max_execs:None ords)
+
+(* ------------------------------------------------------------------ *)
+(* Entry roundtrip *)
+
+let test_entry_roundtrip () =
+  let dir = scratch_dir () in
+  let s = Store.open_dir dir in
+  let key = default_key [ ("a", C11.Memory_order.Seq_cst) ] in
+  let entry =
+    {
+      Store.graphs = [ 3L; 17L; Int64.min_int ];
+      closed =
+        [
+          { Mc.Scheduler.fp = 42L; sleeping = [ 1; 3 ]; nacts = 7 };
+          { Mc.Scheduler.fp = -9L; sleeping = []; nacts = 0 };
+        ];
+      check_entries =
+        [
+          {
+            Cdsspec.Checker.entry_key = "k1";
+            entry_verdict =
+              [
+                { Cdsspec.Checker.kind = `Admissibility; message = "m1" };
+                { Cdsspec.Checker.kind = `Unjustified; message = "m2 with \n newline" };
+              ];
+            entry_h_trunc = true;
+            entry_p_trunc = false;
+          };
+        ];
+      behaviours = [ ("t1", [ 5L; 6L ]); ("t2", []) ];
+      explored = 12345;
+      time = 1.5;
+    }
+  in
+  Store.save s key entry;
+  (match Store.load s key with
+  | None -> Alcotest.fail "saved entry loads"
+  | Some e ->
+    Alcotest.(check bool) "graphs roundtrip" true (e.Store.graphs = entry.Store.graphs);
+    Alcotest.(check bool) "closed roundtrip" true (e.Store.closed = entry.Store.closed);
+    Alcotest.(check bool) "check entries roundtrip" true
+      (e.Store.check_entries = entry.Store.check_entries);
+    Alcotest.(check bool) "behaviours roundtrip" true
+      (e.Store.behaviours = entry.Store.behaviours);
+    Alcotest.(check int) "explored roundtrip" entry.Store.explored e.Store.explored;
+    Alcotest.(check bool) "time roundtrip" true (e.Store.time = entry.Store.time));
+  (* a different key never reads someone else's entry *)
+  let other = default_key ~test:"other" [ ("a", C11.Memory_order.Seq_cst) ] in
+  Alcotest.(check bool) "foreign key misses" true (Store.load s other = None);
+  rm_rf dir
+
+let test_check_cache_roundtrip () =
+  let cache = Cdsspec.Checker.create_cache () in
+  Alcotest.(check int) "fresh cache exports nothing" 0
+    (List.length (Cdsspec.Checker.export_entries cache));
+  let entries =
+    [
+      {
+        Cdsspec.Checker.entry_key = "alpha";
+        entry_verdict = [];
+        entry_h_trunc = false;
+        entry_p_trunc = false;
+      };
+      {
+        Cdsspec.Checker.entry_key = "beta";
+        entry_verdict = [ { Cdsspec.Checker.kind = `Assertion; message = "boom" } ];
+        entry_h_trunc = false;
+        entry_p_trunc = true;
+      };
+    ]
+  in
+  Cdsspec.Checker.import_entries cache entries;
+  let exported =
+    List.sort compare (Cdsspec.Checker.export_entries cache)
+  in
+  Alcotest.(check bool) "import/export roundtrip" true (exported = List.sort compare entries);
+  let c = Cdsspec.Checker.cache_counters cache in
+  Alcotest.(check int) "imports are not hits" 0 c.Mc.Explorer.cache_hits;
+  Alcotest.(check int) "imports are not misses" 0 c.Mc.Explorer.cache_misses;
+  Alcotest.(check int) "imports land in the table" 2 c.Mc.Explorer.cache_entries;
+  (* no-op on a memoization-off cache: --no-check-cache keeps its meaning *)
+  let off = Cdsspec.Checker.create_cache ~memoize:false () in
+  Cdsspec.Checker.import_entries off entries;
+  Alcotest.(check int) "memoize-off cache stays empty" 0
+    (Cdsspec.Checker.cache_counters off).Mc.Explorer.cache_entries
+
+(* ------------------------------------------------------------------ *)
+(* Cold/warm differential over the registry *)
+
+let test_registry_differential () =
+  let dir = scratch_dir () in
+  let gated = ref 0 in
+  List.iter
+    (fun (b : B.t) ->
+      let ords = Ords.default b.B.sites in
+      let t = List.hd b.B.tests in
+      let where = b.B.name ^ "/" ^ t.B.test_name in
+      let store = Store.open_dir dir in
+      let cold, d0 = run ~store ~jobs:1 ~prune:true b ~ords t in
+      Alcotest.(check bool) (where ^ ": first run is cold") true (d0 = `Miss);
+      if not cold.stats.truncated then begin
+        incr gated;
+        (* serial warm *)
+        let warm, d1 = run ~store ~jobs:1 ~prune:true b ~ords t in
+        Alcotest.(check bool) (where ^ ": second run is warm") true (d1 = `Hit);
+        check_semantics ~where:(where ^ " (serial)") cold warm;
+        (if cold.bugs = [] then
+           Alcotest.(check bool)
+             (where ^ ": warm run collapses")
+             true
+             (warm.stats.explored < max 2 cold.stats.explored));
+        (* parallel warm: same closed keys shared read-only across domains *)
+        let warm2, d2 = run ~store ~jobs:2 ~prune:true b ~ords t in
+        Alcotest.(check bool) (where ^ ": -j2 run is warm") true (d2 = `Hit);
+        check_semantics ~where:(where ^ " (-j2)") cold warm2
+      end)
+    Structures.Registry.exhaustive;
+  Alcotest.(check bool)
+    (Printf.sprintf "differential not vacuous (%d structures gated)" !gated)
+    true (!gated >= 10);
+  rm_rf dir
+
+(* A cold [-j2] store still warms a serial re-run: under work stealing
+   the frozen/donated levels are never closed, so the stored set is a
+   subset of the serial one — the warm run re-explores the difference
+   and the union of graphs is unchanged. *)
+let test_parallel_cold_store () =
+  let dir = scratch_dir () in
+  let b =
+    match Structures.Registry.find "Treiber Stack" with
+    | Some b -> b
+    | None -> Alcotest.fail "Treiber Stack registered"
+  in
+  let ords = Ords.default b.B.sites in
+  let t = List.hd b.B.tests in
+  let store = Store.open_dir dir in
+  let cold, d0 = run ~store ~jobs:2 ~prune:true b ~ords t in
+  Alcotest.(check bool) "cold -j2 misses" true (d0 = `Miss);
+  let warm, d1 = run ~store ~jobs:1 ~prune:true b ~ords t in
+  Alcotest.(check bool) "serial re-run hits" true (d1 = `Hit);
+  check_semantics ~where:"-j2 cold, serial warm" cold warm;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Corruption and invalidation *)
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  |> List.map (Filename.concat dir)
+
+let test_corrupt_entry_discarded () =
+  let dir = scratch_dir () in
+  let b =
+    match Structures.Registry.find "Treiber Stack" with
+    | Some b -> b
+    | None -> Alcotest.fail "Treiber Stack registered"
+  in
+  let ords = Ords.default b.B.sites in
+  let t = List.hd b.B.tests in
+  let store = Store.open_dir dir in
+  let cold, _ = run ~store ~jobs:1 ~prune:true b ~ords t in
+  let files = entry_files dir in
+  Alcotest.(check bool) "cold run wrote an entry" true (files <> []);
+  (* flip one byte in the middle of every entry *)
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = Bytes.of_string (really_input_string ic n) in
+      close_in ic;
+      let i = n / 2 in
+      Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0xFF));
+      let oc = open_out_bin path in
+      output_bytes oc s;
+      close_out oc)
+    files;
+  let store = Store.open_dir dir in
+  let r, d = run ~store ~jobs:1 ~prune:true b ~ords t in
+  Alcotest.(check bool) "corrupt entry reads as a miss" true (d = `Miss);
+  Alcotest.(check bool) "corruption was counted" true ((Store.stats store).corrupt > 0);
+  check_semantics ~where:"after corruption" cold r;
+  (* truncated file: cut an entry in half *)
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic (n / 2) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc s;
+      close_out oc)
+    (entry_files dir);
+  let store = Store.open_dir dir in
+  let r, d = run ~store ~jobs:1 ~prune:true b ~ords t in
+  Alcotest.(check bool) "truncated entry reads as a miss" true (d = `Miss);
+  check_semantics ~where:"after truncation" cold r;
+  rm_rf dir
+
+let test_engine_rev_flush () =
+  let dir = scratch_dir () in
+  let s = Store.open_dir dir in
+  let key = default_key [ ("a", C11.Memory_order.Seq_cst) ] in
+  Store.save s key
+    {
+      Store.graphs = [ 1L ];
+      closed = [];
+      check_entries = [];
+      behaviours = [];
+      explored = 1;
+      time = 0.;
+    };
+  Alcotest.(check bool) "entry exists" true (entry_files dir <> []);
+  (* same rev: reopening keeps entries *)
+  let s = Store.open_dir dir in
+  Alcotest.(check bool) "same-rev reopen keeps entries" true (Store.load s key <> None);
+  (* forge a meta from another engine revision *)
+  let oc = open_out_bin (Filename.concat dir "meta") in
+  output_string oc "cdsspec-store/1\nsome-other-engine/0\n";
+  close_out oc;
+  let s = Store.open_dir dir in
+  Alcotest.(check bool) "rev mismatch flushes every entry" true (entry_files dir = []);
+  Alcotest.(check bool) "flushed entry misses" true (Store.load s key = None);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Advisor through the store *)
+
+let test_advisor_warm () =
+  let dir = scratch_dir () in
+  let b =
+    match Structures.Registry.find "Treiber Stack" with
+    | Some b -> b
+    | None -> Alcotest.fail "Treiber Stack registered"
+  in
+  let summary =
+    Analyze.Access_summary.collect
+      ~config:{ Analyze.Access_summary.default_config with max_executions = Some cap }
+      b
+  in
+  let config store =
+    { Analyze.Weaken.default_config with max_executions = Some cap; store }
+  in
+  let strip (r : Analyze.Weaken.report) =
+    List.map
+      (fun (c : Analyze.Weaken.candidate) ->
+        (c.site, c.from_order, c.to_order, Analyze.Weaken.verdict_to_string c.verdict, c.explored))
+      r.candidates
+  in
+  let baseline = Analyze.Weaken.advise ~config:(config None) b ~summary in
+  let store = Store.open_dir dir in
+  let cold = Analyze.Weaken.advise ~config:(config (Some store)) b ~summary in
+  Alcotest.(check bool) "store-cold advisor matches storeless" true
+    (strip baseline = strip cold);
+  let store = Store.open_dir dir in
+  let warm = Analyze.Weaken.advise ~config:(config (Some store)) b ~summary in
+  Alcotest.(check bool) "warm advisor verdicts identical" true (strip cold = strip warm);
+  Alcotest.(check bool) "warm advisor actually hit the store" true
+    ((Store.stats store).hits > 0);
+  rm_rf dir
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "fingerprint",
+        [ Alcotest.test_case "stability and sensitivity" `Quick test_fingerprint_stability ] );
+      ( "codec",
+        [
+          Alcotest.test_case "entry roundtrip" `Quick test_entry_roundtrip;
+          Alcotest.test_case "check-cache export/import" `Quick test_check_cache_roundtrip;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "registry cold vs warm" `Slow test_registry_differential;
+          Alcotest.test_case "parallel cold store" `Quick test_parallel_cold_store;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "corrupt entry discarded" `Quick test_corrupt_entry_discarded;
+          Alcotest.test_case "engine-rev flush" `Quick test_engine_rev_flush;
+        ] );
+      ("advisor", [ Alcotest.test_case "warm advisor" `Slow test_advisor_warm ]);
+    ]
