@@ -18,6 +18,9 @@
      bench/main.exe serve      persistent store cold-vs-warm + serve daemon throughput;
                                writes BENCH_PR7.json (--smoke: capped CI subset;
                                hard-fails on any cold/warm verdict divergence)
+     bench/main.exe rf         incremental rf-consistency kernel on vs off; writes
+                               BENCH_PR9.json (--smoke: capped CI subset; hard-fails
+                               on any graph-set or verdict divergence)
 
    `--jobs N` (or CDSSPEC_JOBS=N) runs every exploration on N domains;
    0 means one per recommended core. The timing job records the jobs
@@ -1452,6 +1455,245 @@ let run_serve () =
   rm_rf store_dir;
   rm_rf serve_dir
 
+(* ------------------------------------------------------------------ *)
+(* Rf kernel: the PR-9 benchmark. Every exhaustive registry structure
+   (first unit test, pruning on) is explored with the incremental
+   rf-consistency kernel on and off, serial and on two domains. For
+   rows where every run exhausts the tree, the distinct-graph sets and
+   bug lists must be bit-identical across all four runs — and the
+   serial pair must also agree on the first buggy trace and on the
+   pre-replay rejection ledger (same queries, same stores excluded);
+   any divergence is a hard failure, so the `--smoke` run doubles as
+   CI's kernel-soundness gate. The spin-heavy MCS/Chase-Lev rows
+   (pruning off, best-of-N) measure the kernel's wall-clock win in the
+   regime that motivates it: long per-location histories rescanned on
+   every read. Emitted as BENCH_PR9.json with the rejected-before-replay
+   counts next to the post-replay prune counts.                        *)
+
+let rf_json_file = "BENCH_PR9.json"
+
+type rf_row = {
+  rf_workload : string;
+  rf_explored : int;
+  rf_graphs : int;
+  rf_on_wall_s : float;
+  rf_off_wall_s : float;
+  rf_queries : int;
+  rf_fast : int;
+  rf_rejected : int;  (* stores excluded before replay (kernel-on run) *)
+  rf_pruned : int;  (* runs pruned after replay (kernel-on run) *)
+  rf_gated : bool;
+}
+
+let rf_explore ?loop_bound ~kernel ~prune ~jobs:j ~max_execs (b : B.t) (t : B.test) =
+  let ords = Structures.Ords.default b.sites in
+  let sched = { b.scheduler with Mc.Scheduler.rf_kernel = kernel } in
+  let sched =
+    match loop_bound with
+    | None -> sched
+    | Some lb -> { sched with Mc.Scheduler.loop_bound = lb }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Mc.Parallel.explore ~jobs:j ~strategy:`Steal
+      ~config:{ E.default_config with scheduler = sched; max_executions = max_execs; prune }
+      ~on_feasible:(Cdsspec.Checker.hook b.spec)
+      (t.program ords)
+  in
+  (Unix.gettimeofday () -. t0, r)
+
+let rf_one ~max_execs (b : B.t) =
+  let t = List.hd b.tests in
+  let timed kernel =
+    (* compact before each timed leg: heap state drifts over the
+       process lifetime and would otherwise bias whichever mode runs
+       later *)
+    Gc.compact ();
+    rf_explore ~kernel ~prune:true ~jobs:1 ~max_execs b t
+  in
+  let wall_on, on = timed true in
+  let wall_off, off = timed false in
+  let _, on2 = rf_explore ~kernel:true ~prune:true ~jobs:2 ~max_execs b t in
+  let _, off2 = rf_explore ~kernel:false ~prune:true ~jobs:2 ~max_execs b t in
+  (* The serial pair's identity gate is unconditional: the kernel only
+     changes how fast a candidate window is computed, never its
+     contents, so a serial DFS explores the same prefix even when the
+     cap truncates it. *)
+  if off.stats.explored <> on.stats.explored then
+    failwith ("rf-bench: explored counts diverge between kernel-on and kernel-off on " ^ b.name);
+  if off.graphs <> on.graphs then
+    failwith
+      ("rf-bench: distinct-graph sets diverge between kernel-on and kernel-off on " ^ b.name);
+  if List.map Mc.Bug.key off.bugs <> List.map Mc.Bug.key on.bugs then
+    failwith ("rf-bench: bug lists diverge between kernel-on and kernel-off on " ^ b.name);
+  if on.first_buggy_trace <> off.first_buggy_trace then
+    failwith ("rf-bench: first buggy traces diverge between kernel-on and kernel-off on " ^ b.name);
+  if on.stats.rf_queries <> off.stats.rf_queries || on.stats.rf_rejected <> off.stats.rf_rejected
+  then
+    failwith
+      ("rf-bench: the pre-replay rejection ledger diverges between kernel-on and kernel-off on "
+     ^ b.name);
+  (* Work-stealing split order is legitimately cap-dependent, so the
+     -j2 legs join the gate only when the whole quadruple completes. *)
+  let gated =
+    (not on.stats.truncated)
+    && List.for_all
+         (fun (r : E.result) -> not r.stats.truncated)
+         [ off; on2; off2 ]
+  in
+  if gated then
+    List.iter
+      (fun (what, (r : E.result)) ->
+        if r.graphs <> on.graphs then
+          failwith
+            (Printf.sprintf "rf-bench: distinct-graph sets diverge (kernel-on vs %s) on %s" what
+               b.name);
+        if List.map Mc.Bug.key r.bugs <> List.map Mc.Bug.key on.bugs then
+          failwith
+            (Printf.sprintf "rf-bench: bug lists diverge (kernel-on vs %s) on %s" what b.name))
+      [ ("kernel-on -j2", on2); ("kernel-off -j2", off2) ]
+  else
+    (* no silent caps: a truncated quadruple still passes the serial
+       gate above but skips the parallel legs, and says so *)
+    Format.printf "  note: %s truncated at the execution cap; -j2 identity legs skipped@." b.name;
+  {
+    rf_workload = b.name ^ "/" ^ t.test_name;
+    rf_explored = on.stats.explored;
+    rf_graphs = on.stats.distinct_graphs;
+    rf_on_wall_s = wall_on;
+    rf_off_wall_s = wall_off;
+    rf_queries = on.stats.rf_queries;
+    rf_fast = on.stats.rf_fast;
+    rf_rejected = on.stats.rf_rejected;
+    rf_pruned =
+      on.stats.pruned_equiv + on.stats.pruned_sleep_set + on.stats.pruned_loop_bound
+      + on.stats.pruned_max_actions;
+    rf_gated = gated;
+  }
+
+(* Spin rows: pruning off, serial, best-of-N walls (the engines are
+   deterministic; the host is not). Modes alternate within each round
+   with the leading mode flipped per round, and the heap is compacted
+   before every timed run — timing all reps of one mode and then all of
+   the other lets heap drift load onto the second batch and has shown
+   itself as a phantom ±5% on seconds-scale walls. *)
+let rf_spin_one ?loop_bound ~max_execs ~reps (b : B.t) test_name =
+  let t = find_test b test_name in
+  let best_on = ref (infinity, None) in
+  let best_off = ref (infinity, None) in
+  let run kernel =
+    Gc.compact ();
+    let w, r = rf_explore ?loop_bound ~kernel ~prune:false ~jobs:1 ~max_execs b t in
+    let best = if kernel then best_on else best_off in
+    if w < fst !best then best := (w, Some r)
+  in
+  for rep = 0 to reps - 1 do
+    let first = rep land 1 = 0 in
+    run first;
+    run (not first)
+  done;
+  let take best = match !best with _, None -> assert false | w, Some r -> (w, r) in
+  let wall_on, on = take best_on in
+  let wall_off, off = take best_off in
+  (* Serial prune-off exploration is deterministic and the kernel never
+     changes a candidate window, so the two modes must agree on the
+     explored prefix even when the cap truncates it — the spin-row
+     identity gate is unconditional. *)
+  if on.stats.explored <> off.stats.explored then
+    failwith
+      ("rf-bench: spin-row explored counts diverge between kernel-on and kernel-off on " ^ b.name);
+  if on.graphs <> off.graphs then
+    failwith ("rf-bench: spin-row graph sets diverge between kernel-on and kernel-off on " ^ b.name);
+  if List.map Mc.Bug.key on.bugs <> List.map Mc.Bug.key off.bugs then
+    failwith ("rf-bench: spin-row bug lists diverge between kernel-on and kernel-off on " ^ b.name);
+  if on.stats.rf_queries <> off.stats.rf_queries || on.stats.rf_rejected <> off.stats.rf_rejected
+  then
+    failwith
+      ("rf-bench: spin-row rejection ledgers diverge between kernel-on and kernel-off on " ^ b.name);
+  {
+    rf_workload = b.name ^ "/" ^ test_name;
+    rf_explored = on.stats.explored;
+    rf_graphs = on.stats.distinct_graphs;
+    rf_on_wall_s = wall_on;
+    rf_off_wall_s = wall_off;
+    rf_queries = on.stats.rf_queries;
+    rf_fast = on.stats.rf_fast;
+    rf_rejected = on.stats.rf_rejected;
+    rf_pruned =
+      on.stats.pruned_equiv + on.stats.pruned_sleep_set + on.stats.pruned_loop_bound
+      + on.stats.pruned_max_actions;
+    (* the serial identity gate above is unconditional for spin rows *)
+    rf_gated = true;
+  }
+
+let rf_speedup r = if r.rf_on_wall_s > 0. then r.rf_off_wall_s /. r.rf_on_wall_s else 1.
+
+let write_rf_json registry spin =
+  write_bench_file ~default:rf_json_file ~pr:9
+    ~note:(if !smoke then " (smoke)" else "")
+    (fun oc ->
+      Printf.fprintf oc
+        "  \"smoke\": %b,\n  \"median_speedup\": %.2f,\n  \"median_spin_speedup\": %.2f,\n  \
+         \"registry\": [\n"
+        !smoke
+        (median (List.map rf_speedup registry))
+        (median (List.map rf_speedup spin));
+      let row i n r =
+        Printf.fprintf oc
+          "    {\"workload\": %S, \"explored\": %d, \"distinct_graphs\": %d, \"wall_kernel_on_s\": \
+           %.4f, \"wall_kernel_off_s\": %.4f, \"speedup\": %.2f, \"rf_queries\": %d, \
+           \"rf_fast\": %d, \"rejected_before_replay\": %d, \"pruned_after_replay\": %d, \
+           \"identical\": %b}%s\n"
+          r.rf_workload r.rf_explored r.rf_graphs r.rf_on_wall_s r.rf_off_wall_s (rf_speedup r)
+          r.rf_queries r.rf_fast r.rf_rejected r.rf_pruned r.rf_gated
+          (if i = n - 1 then "" else ",")
+      in
+      List.iteri (fun i r -> row i (List.length registry) r) registry;
+      Printf.fprintf oc "  ],\n  \"spin\": [\n";
+      List.iteri (fun i r -> row i (List.length spin) r) spin;
+      Printf.fprintf oc "  ]\n")
+
+let run_rf () =
+  section
+    (Printf.sprintf "Rf kernel: incremental consistency summaries%s"
+       (if !smoke then " (smoke subset)" else ""));
+  let max_execs = if !smoke then Some 20_000 else Some 400_000 in
+  Format.printf "%-34s %9s %7s %10s %10s %8s %12s %11s@." "Workload" "explored" "graphs"
+    "off (s)" "on (s)" "speedup" "rejected<rp" "pruned>rp";
+  let print r =
+    Format.printf "%-34s %9d %7d %10.3f %10.3f %7.2fx %12d %11d%s@." r.rf_workload r.rf_explored
+      r.rf_graphs r.rf_off_wall_s r.rf_on_wall_s (rf_speedup r) r.rf_rejected r.rf_pruned
+      (if r.rf_gated then "" else "  (gate skipped)")
+  in
+  let registry =
+    List.map
+      (fun b ->
+        let r = rf_one ~max_execs b in
+        print r;
+        r)
+      Structures.Registry.exhaustive
+  in
+  if not (List.exists (fun r -> r.rf_gated) registry) then
+    failwith "rf-bench: every kernel quadruple truncated; the identity gate never ran";
+  (* best-of walls even in smoke: single-shot sub-second timings on a
+     shared host are +-20% noise, which would misread as regressions *)
+  let reps = if !smoke then 3 else 5 in
+  Format.printf "@.%-34s %9s %7s %10s %10s %8s %12s@." "Spin workload (prune off)" "explored"
+    "graphs" "off (s)" "on (s)" "speedup" "rejected<rp";
+  let spin =
+    List.map
+      (fun (b, test_name, loop_bound) ->
+        let r = rf_spin_one ?loop_bound ~max_execs ~reps b test_name in
+        Format.printf "%-34s %9d %7d %10.3f %10.3f %7.2fx %12d@." r.rf_workload r.rf_explored
+          r.rf_graphs r.rf_off_wall_s r.rf_on_wall_s (rf_speedup r) r.rf_rejected;
+        r)
+      [
+        (Structures.Mcs_lock.benchmark, "two-threads", Some 48);
+        (Structures.Chase_lev_deque.benchmark, "small", None);
+      ]
+  in
+  write_rf_json registry spin
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* split --jobs N / --jobs=N / -j N off the job-name list *)
@@ -1501,9 +1743,10 @@ let () =
       | "explore" -> run_explore ()
       | "replay" -> run_replay ()
       | "serve" -> run_serve ()
+      | "rf" -> run_rf ()
       | other ->
         Format.printf
           "unknown job %S \
-           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay|serve)@."
+           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay|serve|rf)@."
           other)
     names

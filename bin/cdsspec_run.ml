@@ -110,8 +110,13 @@ let exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine (b
   (match disposition with
   | `Off -> ()
   | `Hit -> Format.printf "  store: hit (warm re-validation; stored graph set merged)@."
-  | `Miss -> Format.printf "  store: miss (cold run%s)@."
-               (if prune && r.bugs = [] && not r.stats.truncated then ", saved" else ", not saved"));
+  | `Miss ->
+    let saved =
+      if prune && r.bugs = [] then
+        if r.stats.truncated then ", saved (partial)" else ", saved"
+      else ", not saved"
+    in
+    Format.printf "  store: miss (cold run%s)@." saved);
   let s = r.stats in
   if s.pruned_equiv + s.pruned_sleep_set + s.pruned_loop_bound + s.pruned_max_actions > 0 then
     Format.printf "  pruned: %d equivalence, %d sleep-set, %d loop-bound, %d max-actions@."
@@ -194,6 +199,9 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
         minor_words = 0.;
         snapshots = 0;
         restores = 0;
+        rf_queries = 0;
+        rf_fast = 0;
+        rf_rejected = 0;
         check = Cdsspec.Checker.cache_counters cache;
       };
     bugs;
@@ -205,10 +213,17 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
   }
 
 let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_prune legacy
-    fuzzing replay store_dir =
+    no_rf_kernel fuzzing replay store_dir =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
+    (* Override before anything touches [b]: the store keys on
+       [b.scheduler], so kernel-off runs get their own entries. *)
+    let b =
+      if no_rf_kernel then
+        { b with B.scheduler = { b.B.scheduler with Mc.Scheduler.rf_kernel = false } }
+      else b
+    in
     match build_ords b weaken overrides with
     | Error e -> e
     | Ok ords -> (
@@ -662,6 +677,16 @@ let check_term =
              produce bit-identical verdicts, graph sets, bug lists and traces; this is the \
              differential oracle.")
   in
+  let no_rf_kernel =
+    Arg.(
+      value & flag
+      & info [ "no-rf-kernel" ]
+          ~doc:
+            "Disable the incremental rf-consistency kernel: read candidates are recomputed from \
+             scratch by the full per-rule scan instead of the kernel's saturated summaries. \
+             Graph sets, bug lists and verdicts are identical either way (that equivalence is \
+             tested); this is the escape hatch for differential debugging.")
+  in
   let store_dir =
     Arg.(
       value
@@ -675,13 +700,13 @@ let check_term =
   in
   Term.(
     const
-      (fun name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing replay
-           store_dir ->
+      (fun name test weaken overrides max_execs verbose dot jobs no_prune legacy no_rf_kernel
+           fuzzing replay store_dir ->
         exit_of
-          (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune legacy fuzzing
-             replay store_dir))
+          (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune legacy
+             no_rf_kernel fuzzing replay store_dir))
     $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ no_prune
-    $ legacy_engine $ fuzzing_term $ replay $ store_dir)
+    $ legacy_engine $ no_rf_kernel $ fuzzing_term $ replay $ store_dir)
 
 let lint_term =
   let bench = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in

@@ -158,6 +158,7 @@ let explore_tests ~config (b : B.t) ords =
           behaviours = List.map (fun (name, set) -> (name, AS.behaviour_elements set)) sets;
           explored = !explored;
           time = 0.;
+          partial = None;
         }
     | _ -> ());
     (!first_bug, sets, !explored)

@@ -68,6 +68,12 @@ type thread_state = {
   mutable release_fence : Clock.t option;  (* clock at the latest release fence *)
   mutable sc_fences : (int * int) list;  (* (seq, commit id), newest first *)
   mutable inherited : Clock.t;  (* parent clock at Create, joined at Start *)
+  mutable fclock : Clock.t;
+      (* foreign-knowledge clock: agrees with [clock] on every entry but
+         the thread's own, and — the property the rf-kernel memo keys
+         on — changes object identity only when a join actually adds
+         foreign knowledge. Own-seq bumps leave it untouched, so a
+         spin-loop re-reading the same store keeps the same object. *)
   mutable fp_chain : int;  (* fingerprint chain over this thread's actions *)
   chain : int Vec.t;  (* this thread's action ids, in commit order *)
   fp_hist : int Vec.t;  (* fp_chain value before each of this thread's actions *)
@@ -82,31 +88,19 @@ type jentry =
   | J_pending of int * Clock.t  (* tid, previous pending_acquire *)
   | J_release_fence of int * Clock.t option  (* tid, previous release_fence *)
   | J_inherited of int * Clock.t  (* tid, previous inherited *)
+  | J_fclock of int * Clock.t  (* tid, previous foreign-knowledge clock *)
   | J_next_loc of int  (* previous next_loc *)
-
-(* Per-(location, thread) coherence index: the stores and atomic reads
-   this thread committed to the location, as parallel (seq, mo index)
-   arrays. Both columns are monotone — seq by construction, the write
-   mo index because commit order restricted to one location IS mo, and
-   the read mo index by the CoRR constraint (a thread's own earlier
-   reads are always hb-visible, so [min_readable_index] never lets a
-   later read observe an earlier write). Monotonicity is what lets
-   candidate filtering binary-search these instead of rescanning the
-   whole store list. *)
-type loc_thread = {
-  w_seq : int Vec.t;
-  w_idx : int Vec.t;
-  r_seq : int Vec.t;
-  r_idx : int Vec.t;
-}
 
 type loc_state = {
   stores : Action.t Vec.t;  (* every write, commit order = modification order *)
   reads : (Action.t * int) Vec.t;  (* atomic reads with the mo index they read *)
   na_reads : Action.t Vec.t;
-  mutable per_tid : loc_thread option array;  (* coherence index, grown on demand *)
-  sc_ids : int Vec.t;  (* commit ids of seq_cst stores, increasing *)
-  sc_idx : int Vec.t;  (* their mo indices, increasing *)
+  rfk : Rf_kernel.loc;
+      (* rf-consistency saturation state: per-thread coherence columns
+         and the SC-store order, fed on every commit/undo (see
+         rf_kernel.mli). Monotonicity of its columns is what lets
+         candidate filtering binary-search instead of rescanning the
+         whole store list. *)
   mutable na_stores : int;  (* non-atomic stores: gates race scans *)
   mutable fp_mo : int;  (* fingerprint chain over mo *)
   fp_mo_hist : int Vec.t;  (* fp_mo value before each store to this location *)
@@ -127,9 +121,15 @@ type t = {
   mutable fp_sc : int;  (* fingerprint chain over the SC order *)
   fp_sc_hist : int Vec.t;  (* fp_sc value before each seq_cst action *)
   journal : jentry Vec.t;
+  use_kernel : bool;  (* route candidate floors through the rf kernel *)
+  mutable sc_fence_live : int;
+      (* committed seq_cst fences across all threads. Zero means the
+         fence-mediated SC rules (29.3p5/p6/p7) are all vacuous, which
+         is what licenses the kernel's O(1) fast path. *)
+  rfc : Rf_kernel.counters;
 }
 
-let create () =
+let create ?(rf_kernel = true) () =
   {
     actions = Vec.create ();
     mo_idx = Vec.create ();
@@ -140,7 +140,12 @@ let create () =
     fp_sc = 0;
     fp_sc_hist = Vec.create ();
     journal = Vec.create ();
+    use_kernel = rf_kernel;
+    sc_fence_live = 0;
+    rfc = Rf_kernel.counters_create ();
   }
+
+let rf_counters t = (t.rfc.Rf_kernel.queries, t.rfc.Rf_kernel.fast, t.rfc.Rf_kernel.rejected)
 
 let new_thread_state () =
   {
@@ -150,6 +155,7 @@ let new_thread_state () =
     release_fence = None;
     sc_fences = [];
     inherited = Clock.empty;
+    fclock = Clock.empty;
     fp_chain = 0;
     chain = Vec.create ();
     fp_hist = Vec.create ();
@@ -174,9 +180,7 @@ let loc_state t loc =
         stores = Vec.create ();
         reads = Vec.create ();
         na_reads = Vec.create ();
-        per_tid = [||];
-        sc_ids = Vec.create ();
-        sc_idx = Vec.create ();
+        rfk = Rf_kernel.loc_create ();
         na_stores = 0;
         fp_mo = h_int 0 loc;
         fp_mo_hist = Vec.create ();
@@ -188,20 +192,6 @@ let loc_state t loc =
     done;
     Vec.set t.locs loc (Some ls);
     ls
-
-let loc_tid ls tid =
-  let n = Array.length ls.per_tid in
-  if tid >= n then begin
-    let arr = Array.make (tid + 4) None in
-    Array.blit ls.per_tid 0 arr 0 n;
-    ls.per_tid <- arr
-  end;
-  match ls.per_tid.(tid) with
-  | Some tl -> tl
-  | None ->
-    let tl = { w_seq = Vec.create (); w_idx = Vec.create (); r_seq = Vec.create (); r_idx = Vec.create () } in
-    ls.per_tid.(tid) <- Some tl;
-    tl
 
 let num_actions t = Vec.length t.actions
 
@@ -215,13 +205,8 @@ let push_store t ls (a : Action.t) =
   let idx = Vec.length ls.stores in
   Vec.push ls.stores a;
   Vec.set t.mo_idx a.id idx;
-  let tl = loc_tid ls a.tid in
-  Vec.push tl.w_seq a.seq;
-  Vec.push tl.w_idx idx;
-  if Memory_order.is_seq_cst a.mo then begin
-    Vec.push ls.sc_ids a.id;
-    Vec.push ls.sc_idx idx
-  end;
+  Rf_kernel.on_write ls.rfk ~tid:a.tid ~seq:a.seq ~id:a.id ~idx
+    ~sc:(Memory_order.is_seq_cst a.mo);
   if a.kind = Action.Na_store then ls.na_stores <- ls.na_stores + 1;
   Vec.push ls.acq_memo None;
   let old = ls.fp_mo in
@@ -232,9 +217,7 @@ let push_store t ls (a : Action.t) =
 
 let push_read ls (a : Action.t) idx =
   Vec.push ls.reads (a, idx);
-  let tl = loc_tid ls a.tid in
-  Vec.push tl.r_seq a.seq;
-  Vec.push tl.r_idx idx
+  Rf_kernel.on_read ls.rfk ~tid:a.tid ~seq:a.seq ~idx
 
 (* hb(a, b) where [b] may be a not-yet-committed action of a thread whose
    current clock is [clock_b]. *)
@@ -328,16 +311,6 @@ let store_index t (w : Action.t) =
   let i = Vec.get t.mo_idx w.Action.id in
   if i < 0 then invalid_arg "store_index: not a store of this location" else i
 
-(* Largest index [j] with [v.(j) <= x] in an ascending vector, or -1. *)
-let bsearch_le (v : int Vec.t) x =
-  let lo = ref 0 and hi = ref (Vec.length v) in
-  (* invariant: v.(lo-1) <= x < v.(hi) *)
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if Vec.get v mid <= x then lo := mid + 1 else hi := mid
-  done;
-  !lo - 1
-
 (* Smallest modification-order index a new load by [tid] may read,
    combining per-location coherence with the seq_cst rules (see .mli).
 
@@ -415,45 +388,48 @@ let min_readable_index_ref t ~tid ~mo (ls : loc_state) =
 
 (* Incremental version: every rule reduces to "newest store (or read)
    of thread [u] with seq below a bound", answered by binary search on
-   the per-(location, thread) monotone index — O(threads * log stores)
-   per query instead of O(stores + reads). *)
+   the kernel's per-(location, thread) monotone columns —
+   O(threads * log stores) per query instead of O(stores + reads).
+   This is the full-rule path; it stays correct with live seq_cst
+   fences, which the memoized fast path below does not handle. *)
 let min_readable_index t ~tid ~mo (ls : loc_state) =
   let ts = thread t tid in
+  let k = ls.rfk in
   let min_idx = ref 0 in
   let raise_to i = if i > !min_idx then min_idx := i in
-  let ntl = Array.length ls.per_tid in
+  let ntl = Array.length k.Rf_kernel.per_tid in
   (* CoWR/CoRW + CoRR: newest hb-visible write, and the newest mo index
      observed by an hb-visible read, per committing thread *)
   for u = 0 to ntl - 1 do
-    match ls.per_tid.(u) with
+    match k.Rf_kernel.per_tid.(u) with
     | None -> ()
     | Some tl ->
-      let k = Clock.get ts.clock u in
-      if k > 0 then begin
-        (match bsearch_le tl.w_seq k with
+      let bound = Clock.get ts.clock u in
+      if bound > 0 then begin
+        (match Rf_kernel.bsearch_le tl.Rf_kernel.w_seq bound with
         | -1 -> ()
-        | j -> raise_to (Vec.get tl.w_idx j));
-        match bsearch_le tl.r_seq k with
+        | j -> raise_to (Vec.get tl.Rf_kernel.w_idx j));
+        match Rf_kernel.bsearch_le tl.Rf_kernel.r_seq bound with
         | -1 -> ()
-        | j -> raise_to (Vec.get tl.r_idx j)
+        | j -> raise_to (Vec.get tl.Rf_kernel.r_idx j)
       end
   done;
   let nthreads = Array.length t.threads in
   (* seq_cst load: at least the newest seq_cst store (29.3p3), and the
      newest store sequenced before any seq_cst fence (29.3p6) *)
   if Memory_order.is_seq_cst mo then begin
-    if not (Vec.is_empty ls.sc_idx) then raise_to (Vec.last ls.sc_idx);
+    if not (Vec.is_empty k.Rf_kernel.sc_idx) then raise_to (Vec.last k.Rf_kernel.sc_idx);
     for u = 0 to ntl - 1 do
-      match ls.per_tid.(u) with
+      match k.Rf_kernel.per_tid.(u) with
       | None -> ()
       | Some tl when u < nthreads -> (
         match t.threads.(u).sc_fences with
         | [] -> ()
         | (fence_seq, _) :: _ -> (
           (* newest store by [u] sequenced before u's newest sc fence *)
-          match bsearch_le tl.w_seq (fence_seq - 1) with
+          match Rf_kernel.bsearch_le tl.Rf_kernel.w_seq (fence_seq - 1) with
           | -1 -> ()
-          | j -> raise_to (Vec.get tl.w_idx j)))
+          | j -> raise_to (Vec.get tl.Rf_kernel.w_idx j)))
       | Some _ -> ()
     done
   end;
@@ -462,25 +438,50 @@ let min_readable_index t ~tid ~mo (ls : loc_state) =
   | (_, fence_id) :: _ ->
     (* seq_cst fence sequenced before the load (29.3p5): newest seq_cst
        store committed before that fence *)
-    (match bsearch_le ls.sc_ids (fence_id - 1) with
+    (match Rf_kernel.bsearch_le k.Rf_kernel.sc_ids (fence_id - 1) with
     | -1 -> ()
-    | j -> raise_to (Vec.get ls.sc_idx j));
+    | j -> raise_to (Vec.get k.Rf_kernel.sc_idx j));
     (* fence-to-fence (29.3p7): store before fence X, X before our fence.
        Per thread, seq and commit id grow together along its fence list,
        so the newest fence with id < fence_id also has the largest seq. *)
     for u = 0 to ntl - 1 do
-      match ls.per_tid.(u) with
+      match k.Rf_kernel.per_tid.(u) with
       | None -> ()
       | Some tl when u < nthreads -> (
         match List.find_opt (fun (_, id) -> id < fence_id) t.threads.(u).sc_fences with
         | None -> ()
         | Some (fence_seq, _) -> (
-          match bsearch_le tl.w_seq (fence_seq - 1) with
+          match Rf_kernel.bsearch_le tl.Rf_kernel.w_seq (fence_seq - 1) with
           | -1 -> ()
-          | j -> raise_to (Vec.get tl.w_idx j)))
+          | j -> raise_to (Vec.get tl.Rf_kernel.w_idx j)))
       | Some _ -> ()
     done);
   !min_idx
+
+(* Dispatching floor query: with the kernel enabled and no live seq_cst
+   fence, every fence-mediated SC rule is vacuous and the floor
+   decomposes into three O(1)-or-memoized parts — the reader's own
+   column, the memoized foreign floor under its foreign-knowledge
+   clock, and (for seq_cst loads) the newest seq_cst store. That
+   computes the same value [min_readable_index] would; the differential
+   tests and the kernel-on/off bench gate hold the two paths to bit
+   identity. *)
+let min_readable t ~tid ~mo (ls : loc_state) =
+  let c = t.rfc in
+  c.Rf_kernel.queries <- c.Rf_kernel.queries + 1;
+  let min_idx =
+    if t.use_kernel && t.sc_fence_live = 0 then begin
+      let k = ls.rfk in
+      let ts = thread t tid in
+      let floor = max (Rf_kernel.own_floor k ~tid) (Rf_kernel.foreign_floor c k ~tid ~fclock:ts.fclock) in
+      if Memory_order.is_seq_cst mo then max floor (Vec.last_or k.Rf_kernel.sc_idx 0)
+      else floor
+    end
+    else min_readable_index t ~tid ~mo ls
+  in
+  (* every unit of floor is one store excluded before replay *)
+  c.Rf_kernel.rejected <- c.Rf_kernel.rejected + min_idx;
+  min_idx
 
 let read_candidates_of min_readable t ~tid ~mo ~loc =
   let ls = loc_state t loc in
@@ -493,7 +494,7 @@ let read_candidates_of min_readable t ~tid ~mo ~loc =
     collect min_idx []
   end
 
-let read_candidates t ~tid ~mo ~loc = read_candidates_of min_readable_index t ~tid ~mo ~loc
+let read_candidates t ~tid ~mo ~loc = read_candidates_of min_readable t ~tid ~mo ~loc
 let read_candidates_ref t ~tid ~mo ~loc = read_candidates_of min_readable_index_ref t ~tid ~mo ~loc
 
 (* Allocation-free variant for the hot load path: the candidate set is a
@@ -505,7 +506,7 @@ let read_window t ~tid ~mo ~loc =
   | None -> 0
   | Some ls ->
     let n = Vec.length ls.stores in
-    if n = 0 then 0 else n - min_readable_index t ~tid ~mo ls
+    if n = 0 then 0 else n - min_readable t ~tid ~mo ls
 
 let read_candidate t ~loc i =
   let ls = loc_state t loc in
@@ -571,6 +572,19 @@ let base_clock t tid =
   let ts = thread t tid in
   Clock.set ts.clock tid (ts.seq + 1)
 
+(* Fold newly-acquired knowledge into the thread's foreign-knowledge
+   clock, journaling only on a physical change ([Clock.join] returns its
+   first argument untouched when the second adds nothing — the common
+   spin-loop case). Called at exactly the sites where [clock] gains
+   foreign entries, which keeps the invariant that [fclock] and [clock]
+   agree outside the thread's own entry. *)
+let join_fclock t ts tid c =
+  let fc = Clock.join ts.fclock c in
+  if fc != ts.fclock then begin
+    Vec.push t.journal (J_fclock (tid, ts.fclock));
+    ts.fclock <- fc
+  end
+
 let commit_load t ~tid ~mo ~loc ~rf ?site () =
   let ts = thread t tid in
   let ls = loc_state t loc in
@@ -584,7 +598,13 @@ let commit_load t ~tid ~mo ~loc ~rf ?site () =
   | Some (w : Action.t) ->
     let idx = store_index t w in
     let acquired = acquired_clock ls idx in
-    let clock = if Memory_order.is_acquire mo then Clock.join base acquired else base in
+    let clock =
+      if Memory_order.is_acquire mo then begin
+        join_fclock t ts tid acquired;
+        Clock.join base acquired
+      end
+      else base
+    in
     let pending = Clock.join ts.pending_acquire acquired in
     if pending != ts.pending_acquire then begin
       Vec.push t.journal (J_pending (tid, ts.pending_acquire));
@@ -652,33 +672,60 @@ let commit_na_store t ~tid ~loc ~value ?site () =
 let commit_rmw t ~tid ~mo ~loc ~value ?site () =
   let ts = thread t tid in
   let ls = loc_state t loc in
-  if Vec.is_empty ls.stores then invalid_arg "commit_rmw: uninitialized location";
-  let w = Vec.last ls.stores in
-  let idx = Vec.length ls.stores - 1 in
-  let base = base_clock t tid in
-  let acquired = acquired_clock ls idx in
-  let clock = if Memory_order.is_acquire mo then Clock.join base acquired else base in
-  let pending = Clock.join ts.pending_acquire acquired in
-  if pending != ts.pending_acquire then begin
-    Vec.push t.journal (J_pending (tid, ts.pending_acquire));
-    ts.pending_acquire <- pending
-  end;
-  let release_clock = write_release_clock t ~tid ~mo ~clock in
-  let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
-  let a =
-    mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value ~written_value:value
-      ~rf:w.Action.id ?site ~clock ~release_clock ()
-  in
-  push_read ls a idx;
-  push_store t ls a;
-  let problems = race_problems ls a in
-  let problems = if is_poison w then Uninitialized_load a :: problems else problems in
-  (a, problems)
+  if Vec.is_empty ls.stores then begin
+    (* uninitialized location: like an uninitialized load, the read half
+       observes garbage (reported as a problem, value 0) — but the write
+       half still happens, so the RMW commits with no reads-from edge
+       instead of crashing the run *)
+    let clock = base_clock t tid in
+    let release_clock = write_release_clock t ~tid ~mo ~clock in
+    let a =
+      mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value:0 ~written_value:value ?site ~clock
+        ~release_clock ()
+    in
+    push_store t ls a;
+    (a, Uninitialized_load a :: race_problems ls a)
+  end
+  else begin
+    let w = Vec.last ls.stores in
+    let idx = Vec.length ls.stores - 1 in
+    let base = base_clock t tid in
+    let acquired = acquired_clock ls idx in
+    let clock =
+      if Memory_order.is_acquire mo then begin
+        join_fclock t ts tid acquired;
+        Clock.join base acquired
+      end
+      else base
+    in
+    let pending = Clock.join ts.pending_acquire acquired in
+    if pending != ts.pending_acquire then begin
+      Vec.push t.journal (J_pending (tid, ts.pending_acquire));
+      ts.pending_acquire <- pending
+    end;
+    let release_clock = write_release_clock t ~tid ~mo ~clock in
+    let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
+    let a =
+      mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value ~written_value:value
+        ~rf:w.Action.id ?site ~clock ~release_clock ()
+    in
+    push_read ls a idx;
+    push_store t ls a;
+    let problems = race_problems ls a in
+    let problems = if is_poison w then Uninitialized_load a :: problems else problems in
+    (a, problems)
+  end
 
 let commit_fence t ~tid ~mo =
   let ts = thread t tid in
   let base = base_clock t tid in
-  let clock = if Memory_order.is_acquire mo then Clock.join base ts.pending_acquire else base in
+  let clock =
+    if Memory_order.is_acquire mo then begin
+      join_fclock t ts tid ts.pending_acquire;
+      Clock.join base ts.pending_acquire
+    end
+    else base
+  in
   let a =
     mk_action t ~tid ~kind:Action.Fence ~loc:Action.no_loc ~mo ~clock ~release_clock:None ()
   in
@@ -686,7 +733,10 @@ let commit_fence t ~tid ~mo =
     Vec.push t.journal (J_release_fence (tid, ts.release_fence));
     ts.release_fence <- Some clock
   end;
-  if Memory_order.is_seq_cst mo then ts.sc_fences <- (a.Action.seq, a.Action.id) :: ts.sc_fences;
+  if Memory_order.is_seq_cst mo then begin
+    ts.sc_fences <- (a.Action.seq, a.Action.id) :: ts.sc_fences;
+    t.sc_fence_live <- t.sc_fence_live + 1
+  end;
   a
 
 let commit_create t ~tid ~child =
@@ -702,6 +752,7 @@ let commit_create t ~tid ~child =
 
 let commit_start t ~tid =
   let ts = thread t tid in
+  join_fclock t ts tid ts.inherited;
   let clock = Clock.join (base_clock t tid) ts.inherited in
   mk_action t ~tid ~kind:Action.Start ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock ~release_clock:None
     ()
@@ -712,7 +763,10 @@ let commit_finish t ~tid =
     ()
 
 let commit_join t ~tid ~target =
-  let clock = Clock.join (base_clock t tid) (thread t target).clock in
+  let ts = thread t tid in
+  let target_clock = (thread t target).clock in
+  join_fclock t ts tid target_clock;
+  let clock = Clock.join (base_clock t tid) target_clock in
   mk_action t ~tid ~kind:(Action.Join target) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
     ~release_clock:None ()
 
@@ -774,19 +828,11 @@ let undo_last t =
      else (Vec.get t.actions (Vec.last ts.chain)).Action.clock);
   let undo_read ls =
     ignore (Vec.pop ls.reads);
-    let tl = loc_tid ls a.Action.tid in
-    ignore (Vec.pop tl.r_seq);
-    ignore (Vec.pop tl.r_idx)
+    Rf_kernel.undo_read ls.rfk ~tid:a.Action.tid
   in
   let undo_store ls =
     ignore (Vec.pop ls.stores);
-    let tl = loc_tid ls a.Action.tid in
-    ignore (Vec.pop tl.w_seq);
-    ignore (Vec.pop tl.w_idx);
-    if Memory_order.is_seq_cst a.Action.mo then begin
-      ignore (Vec.pop ls.sc_ids);
-      ignore (Vec.pop ls.sc_idx)
-    end;
+    Rf_kernel.undo_write ls.rfk ~tid:a.Action.tid ~sc:(Memory_order.is_seq_cst a.Action.mo);
     if a.Action.kind = Action.Na_store then ls.na_stores <- ls.na_stores - 1;
     ignore (Vec.pop ls.acq_memo);
     let prev_mo = Vec.pop ls.fp_mo_hist in
@@ -799,10 +845,16 @@ let undo_last t =
     if a.Action.rf <> None then ignore (Vec.pop (loc_state t a.Action.loc).na_reads)
   | Store | Na_store -> undo_store (loc_state t a.Action.loc)
   | Rmw ->
+    (* [rf = None] is the uninitialized-RMW shape: only the write half
+       was indexed on commit *)
     let ls = loc_state t a.Action.loc in
-    undo_read ls;
+    if a.Action.rf <> None then undo_read ls;
     undo_store ls
-  | Fence -> if Memory_order.is_seq_cst a.Action.mo then ts.sc_fences <- List.tl ts.sc_fences
+  | Fence ->
+    if Memory_order.is_seq_cst a.Action.mo then begin
+      ts.sc_fences <- List.tl ts.sc_fences;
+      t.sc_fence_live <- t.sc_fence_live - 1
+    end
   | Create _ | Start | Finish | Join _ -> ()
 
 let restore t m =
@@ -814,6 +866,7 @@ let restore t m =
     | J_pending (tid, c) -> t.threads.(tid).pending_acquire <- c
     | J_release_fence (tid, rf) -> t.threads.(tid).release_fence <- rf
     | J_inherited (tid, c) -> t.threads.(tid).inherited <- c
+    | J_fclock (tid, c) -> t.threads.(tid).fclock <- c
     | J_next_loc n -> t.next_loc <- n
   done
 
@@ -826,17 +879,10 @@ let copy t =
       release_fence = ts.release_fence;
       sc_fences = ts.sc_fences;
       inherited = ts.inherited;
+      fclock = ts.fclock;
       fp_chain = ts.fp_chain;
       chain = Vec.copy ts.chain;
       fp_hist = Vec.copy ts.fp_hist;
-    }
-  in
-  let copy_tl tl =
-    {
-      w_seq = Vec.copy tl.w_seq;
-      w_idx = Vec.copy tl.w_idx;
-      r_seq = Vec.copy tl.r_seq;
-      r_idx = Vec.copy tl.r_idx;
     }
   in
   let copy_ls ls =
@@ -844,9 +890,7 @@ let copy t =
       stores = Vec.copy ls.stores;
       reads = Vec.copy ls.reads;
       na_reads = Vec.copy ls.na_reads;
-      per_tid = Array.map (Option.map copy_tl) ls.per_tid;
-      sc_ids = Vec.copy ls.sc_ids;
-      sc_idx = Vec.copy ls.sc_idx;
+      rfk = Rf_kernel.copy_loc ls.rfk;
       na_stores = ls.na_stores;
       fp_mo = ls.fp_mo;
       fp_mo_hist = Vec.copy ls.fp_mo_hist;
@@ -865,6 +909,9 @@ let copy t =
     fp_sc = t.fp_sc;
     fp_sc_hist = Vec.copy t.fp_sc_hist;
     journal = Vec.copy t.journal;
+    use_kernel = t.use_kernel;
+    sc_fence_live = t.sc_fence_live;
+    rfc = Rf_kernel.copy_counters t.rfc;
   }
 
 let pp ppf t =

@@ -18,7 +18,21 @@ type problem =
   | Data_race of { first : Action.t; second : Action.t }
   | Uninitialized_load of Action.t
 
-val create : unit -> t
+(** [create ?rf_kernel ()]: [rf_kernel] (default on) routes candidate
+    filtering through the incremental {!Rf_kernel} fast path — the
+    memoized coherence floors that reject incoherent rf choices before
+    replay. With it off every query takes the full binary-search rule
+    walk; both paths compute identical floors, so graph sets, bug lists
+    and verdicts are bit-identical either way (the differential tests
+    and the bench equivalence gate enforce this). *)
+val create : ?rf_kernel:bool -> unit -> t
+
+(** [(queries, fast, rejected)] accumulated by candidate filtering on
+    this execution arena: floor queries answered, memoized O(1) answers
+    among them, and the total number of stores excluded before replay
+    (the sum of returned floors). Cumulative — never rewound by
+    {!restore}. *)
+val rf_counters : t -> int * int * int
 
 (** {1 Locations} *)
 
@@ -92,7 +106,10 @@ val commit_store :
 val commit_na_store : t -> tid:int -> loc:int -> value:int -> ?site:string -> unit -> Action.t * problem list
 
 (** [commit_rmw] commits a successful read-modify-write reading the
-    mo-maximal write (which must exist) and writing [value]. *)
+    mo-maximal write and writing [value]. On an uninitialized location
+    the read half observes garbage — reported as an uninitialized
+    access, exactly like {!commit_load} with [rf = None] — while the
+    write half still commits. *)
 val commit_rmw :
   t -> tid:int -> mo:Memory_order.t -> loc:int -> value:int -> ?site:string -> unit -> Action.t * problem list
 

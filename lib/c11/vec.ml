@@ -32,6 +32,9 @@ let[@inline] last v =
   if v.len = 0 then invalid_arg "Vec.last";
   Array.unsafe_get v.data (v.len - 1)
 
+let[@inline] last_or v default =
+  if v.len = 0 then default else Array.unsafe_get v.data (v.len - 1)
+
 let[@inline] is_empty v = v.len = 0
 
 let truncate v n = if n < 0 || n > v.len then invalid_arg "Vec.truncate" else v.len <- n

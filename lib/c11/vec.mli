@@ -12,6 +12,10 @@ val set : 'a t -> int -> 'a -> unit
 (** Last pushed element. Raises [Invalid_argument] when empty. *)
 val last : 'a t -> 'a
 
+(** [last_or v d] is the last pushed element, or [d] when empty — the
+    branch-free form the rf-kernel floor computations use. *)
+val last_or : 'a t -> 'a -> 'a
+
 val is_empty : 'a t -> bool
 
 (** [truncate v n] drops elements from the end so that [length v = n]. *)

@@ -204,6 +204,9 @@ let explorer_result (r : result) : Mc.Explorer.result =
         minor_words = 0.;
         snapshots = 0;
         restores = 0;
+        rf_queries = 0;
+        rf_fast = 0;
+        rf_rejected = 0;
         check = r.stats.check;
       };
     bugs = List.map (fun f -> f.bug) r.found;

@@ -48,6 +48,9 @@ type stats = {
   minor_words : float;  (* minor-heap words allocated during the search *)
   snapshots : int;  (* arena snapshots captured (0 under the legacy engine) *)
   restores : int;  (* arena snapshot restores (0 under the legacy engine) *)
+  rf_queries : int;  (* rf-candidate floor queries answered *)
+  rf_fast : int;  (* memoized O(1) answers among them (0 with the kernel off) *)
+  rf_rejected : int;  (* stores rejected before replay, summed over queries *)
   check : check_counters;
 }
 
@@ -189,6 +192,11 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
     | `Arena -> Some (Scheduler.session_create ?prune ~config:config.scheduler ~trace main)
     | `Legacy -> None
   in
+  (* rf-kernel counters: under the arena engine the session's single
+     execution accumulates them for the whole search (read once at the
+     end); the legacy engine builds a fresh execution per run, so each
+     run's totals are summed as they go. *)
+  let rf_q = ref 0 and rf_f = ref 0 and rf_r = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     let r =
@@ -197,6 +205,13 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
       | None -> Scheduler.run ?prune ~config:config.scheduler ~trace main
     in
     incr explored;
+    (match session with
+    | None ->
+      let q, f, rej = C11.Execution.rf_counters r.exec in
+      rf_q := !rf_q + q;
+      rf_f := !rf_f + f;
+      rf_r := !rf_r + rej
+    | Some _ -> ());
     (match config.progress with
     | Some f when !explored mod 1024 = 0 ->
       let p0 = Monotonic.now () in
@@ -262,6 +277,13 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
   let snapshots, restores =
     match session with Some s -> Scheduler.session_counters s | None -> (0, 0)
   in
+  (match session with
+  | Some s ->
+    let q, f, rej = C11.Execution.rf_counters (Scheduler.session_exec s) in
+    rf_q := q;
+    rf_f := f;
+    rf_r := rej
+  | None -> ());
   {
     stats =
       {
@@ -278,6 +300,9 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
         minor_words = (Gc.quick_stat ()).Gc.minor_words -. g0;
         snapshots;
         restores;
+        rf_queries = !rf_q;
+        rf_fast = !rf_f;
+        rf_rejected = !rf_r;
         check = check ();
       };
     bugs = List.rev !bugs;

@@ -74,6 +74,16 @@ type stats = {
           allocation-per-execution the arena engine is meant to shrink *)
   snapshots : int;  (** arena snapshots captured; 0 under [`Legacy] *)
   restores : int;  (** arena snapshot restores; 0 under [`Legacy] *)
+  rf_queries : int;
+      (** rf-candidate floor queries ({!C11.Execution.rf_counters})
+          answered during the search *)
+  rf_fast : int;
+      (** memoized O(1) answers among [rf_queries]; 0 with
+          [scheduler.rf_kernel] off *)
+  rf_rejected : int;
+      (** stores rejected {e before} replay by candidate filtering —
+          the pre-replay half of the pruning ledger; the post-replay
+          half is the [pruned_*] counters above *)
   check : check_counters;
       (** snapshot of the checking hook's counters at the end of the
           search ({!no_check_counters} when none was supplied) *)

@@ -64,6 +64,9 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
       minor_words = 0.;
       snapshots = 0;
       restores = 0;
+      rf_queries = 0;
+      rf_fast = 0;
+      rf_rejected = 0;
       check;
     }
   in
@@ -95,6 +98,9 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
           minor_words = s.minor_words +. r.stats.minor_words;
           snapshots = s.snapshots + r.stats.snapshots;
           restores = s.restores + r.stats.restores;
+          rf_queries = s.rf_queries + r.stats.rf_queries;
+          rf_fast = s.rf_fast + r.stats.rf_fast;
+          rf_rejected = s.rf_rejected + r.stats.rf_rejected;
           check = s.check;
         };
       List.iter (fun fp -> Hashtbl.replace graphs fp ()) r.graphs;

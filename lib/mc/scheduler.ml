@@ -42,9 +42,10 @@ type config = {
   loop_bound : int;
   max_actions : int;
   sleep_sets : bool;
+  rf_kernel : bool;
 }
 
-let default_config = { loop_bound = 8; max_actions = 4000; sleep_sets = true }
+let default_config = { loop_bound = 8; max_actions = 4000; sleep_sets = true; rf_kernel = true }
 
 type outcome =
   | Complete
@@ -583,7 +584,7 @@ let mk_state ?pick ?prune ~config ~trace main =
   let st =
     {
       config;
-      exec = Execution.create ();
+      exec = Execution.create ~rf_kernel:config.rf_kernel ();
       threads = Array.make 4 Finished;
       nthreads = 0;
       trace;

@@ -94,9 +94,19 @@ let job_key ~kind ~bench ~test ~ords ~sched ~prune ~engine ~max_execs ~checker ~
   add (string_of_int sched.Mc.Scheduler.loop_bound);
   add (string_of_int sched.Mc.Scheduler.max_actions);
   add (string_of_bool sched.Mc.Scheduler.sleep_sets);
+  add (string_of_bool sched.Mc.Scheduler.rf_kernel);
   add (string_of_bool prune);
   add (match engine with `Arena -> "arena" | `Legacy -> "legacy");
-  add (match max_execs with None -> "none" | Some m -> string_of_int m);
+  (* Check entries are cap-agnostic: the cap lives in the entry's
+     [partial] field, so runs under different caps share one key and a
+     clean-but-capped run can warm a later, smaller-capped one. Advisor
+     entries keep the cap in the key — their behaviour sets are a
+     function of exactly how far the sweep got. *)
+  add
+    (match kind, max_execs with
+    | `Check, _ -> "any"
+    | `Advisor, None -> "none"
+    | `Advisor, Some m -> string_of_int m);
   add (string_of_int checker.Cdsspec.Checker.max_histories);
   add
     (match checker.Cdsspec.Checker.sample_histories with
@@ -119,6 +129,10 @@ type entry = {
   behaviours : (string * int64 list) list;
   explored : int;
   time : float;
+  partial : int option;
+      (* None: the run explored to completion. Some cap: a clean run
+         truncated by max_execs = cap — its closed keys and graphs are
+         sound but incomplete, usable to warm runs capped at <= cap. *)
 }
 
 let magic = "CDSS1"
@@ -251,6 +265,11 @@ let encode key e =
     e.behaviours;
   put_int buf e.explored;
   put_i64 buf (Int64.bits_of_float e.time);
+  (match e.partial with
+  | None -> put_bool buf false
+  | Some cap ->
+    put_bool buf true;
+    put_int buf cap);
   let body = Buffer.contents buf in
   let trailer = Buffer.create 8 in
   put_i64 trailer (fnv64 body);
@@ -279,8 +298,9 @@ let decode key s =
   in
   let explored = get_int r in
   let time = Int64.float_of_bits (get_i64 r) in
+  let partial = if get_bool r then Some (get_int r) else None in
   if r.pos <> String.length body then raise Corrupt;
-  { graphs; closed; check_entries; behaviours; explored; time }
+  { graphs; closed; check_entries; behaviours; explored; time; partial }
 
 let entry_path t key = Filename.concat t.dir (key.fp ^ ".bin")
 
@@ -328,6 +348,22 @@ let explore_checked ?store ?stop ?progress ~checker ~use_cache ~max_execs ~jobs 
   let stored =
     match store, key with Some s, Some k -> load s k | _ -> None
   in
+  (* Partial entries are cap-scoped: a clean-but-capped run's closed
+     keys are sound only for runs that stop at or before the same cap —
+     a larger-capped (or uncapped) run would prune subtrees whose tails
+     the stored run never reached. An incompatible entry is a miss. *)
+  let stored =
+    match stored, store with
+    | Some e, Some s
+      when (match e.partial with
+           | None -> false
+           | Some cap -> ( match max_execs with Some n -> n > cap | None -> true)) ->
+      Mutex.protect s.lock (fun () ->
+          s.stats.hits <- s.stats.hits - 1;
+          s.stats.misses <- s.stats.misses + 1);
+      None
+    | _ -> stored
+  in
   (match stored with
   | Some e -> Cdsspec.Checker.import_entries cache e.check_entries
   | None -> ());
@@ -374,24 +410,46 @@ let explore_checked ?store ?stop ?progress ~checker ~use_cache ~max_execs ~jobs 
         stats = { r.stats with distinct_graphs = List.length graphs };
       }
   in
-  (* Save only complete, clean, pruning-on runs: nothing else can be
-     replayed from closed keys alone, and bugs/truncations never need
-     serializing. *)
+  (* Save clean, pruning-on runs. Complete runs save unconditionally —
+     including the upgrade of a previously-partial entry once a warm run
+     finishes the job. Clean-but-capped runs save under a [partial] flag
+     keyed by the cap, but only when the truncation is known to come
+     from the cap itself ([stop] runs are cancelled by a client, which
+     looks identical in [truncated]), and never downgrading an entry
+     that is already complete or already covers a larger cap. Buggy
+     runs never save: bugs would need serializing to reproduce the
+     verdict from a hit. *)
   (match store, key with
-  | Some s, Some k when prune && r.bugs = [] && not r.stats.truncated ->
-    let explored =
-      match stored with Some e -> e.explored | None -> r.stats.explored
+  | Some s, Some k when prune && r.bugs = [] ->
+    let complete = not r.stats.truncated in
+    let cap_partial =
+      match stop, max_execs with None, Some n when not complete -> Some n | _ -> None
     in
-    let time = match stored with Some e -> e.time | None -> r.stats.time in
-    save s k
-      {
-        graphs = r.graphs;
-        closed = r.closed;
-        check_entries = Cdsspec.Checker.export_entries cache;
-        behaviours = [];
-        explored;
-        time;
-      }
+    let covered =
+      match stored with
+      | Some e -> (
+        match e.partial, cap_partial with
+        | None, _ -> true (* already complete: never downgrade *)
+        | Some c, Some n -> c >= n
+        | Some _, None -> false)
+      | None -> false
+    in
+    if complete || (cap_partial <> None && not covered) then begin
+      let explored =
+        match stored with Some e -> e.explored | None -> r.stats.explored
+      in
+      let time = match stored with Some e -> e.time | None -> r.stats.time in
+      save s k
+        {
+          graphs = r.graphs;
+          closed = r.closed;
+          check_entries = Cdsspec.Checker.export_entries cache;
+          behaviours = [];
+          explored;
+          time;
+          partial = (if complete then None else cap_partial);
+        }
+    end
   | _ -> ());
   let disposition =
     match store with None -> `Off | Some _ -> ( match stored with Some _ -> `Hit | None -> `Miss)

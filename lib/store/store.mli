@@ -18,11 +18,19 @@
       entry wholesale. Invalidation is coarse and safe, never clever and
       wrong — a semantics change anywhere in the engine costs one cold
       rebuild, not a wrong verdict.
-    - {b Complete-and-clean only}: {!explore_checked} saves an entry only
-      for bug-free, non-truncated, pruning-on runs. A warm hit therefore
-      never has to reproduce serialized bugs or truncation warnings —
-      the stored verdict is "clean", and the warm run re-derives
-      everything else identically.
+    - {b Clean only, caps scoped}: {!explore_checked} saves entries only
+      for bug-free, pruning-on runs — a warm hit never has to reproduce
+      serialized bugs; the stored verdict is "clean" and the warm run
+      re-derives everything else. Complete runs save unconditionally.
+      A clean run truncated by its execution cap saves under a [partial]
+      flag recording the cap: its closed prune keys are genuinely
+      fully-explored subtrees, but the entry as a whole is incomplete,
+      so it only warms later runs whose cap is at most the stored one
+      (anything larger is treated as a miss), is never allowed to
+      overwrite a complete entry, and is upgraded in place the first
+      time a run under its key explores to completion. Runs truncated
+      by a [stop] callback (client cancellation) are never saved — the
+      store cannot tell how far they got.
 
     Corruption is handled the same way: an entry that fails its length,
     magic, trailing-hash or key-echo check is deleted and reported as a
@@ -79,6 +87,10 @@ type entry = {
       (** advisor entries: per-test behaviour fingerprints, test order *)
   explored : int;  (** the original cold run's execution count *)
   time : float;  (** the original cold run's wall-clock seconds *)
+  partial : int option;
+      (** [None]: the run explored to completion. [Some cap]: a clean
+          run truncated by [max_execs = cap]; sound but incomplete, and
+          only warm-loaded by runs capped at [<= cap] *)
 }
 
 (** [None] on absent, corrupt (deleted, counted) or key-collision
@@ -104,8 +116,14 @@ val save : t -> key -> entry -> unit
 
     [stop] forces a serial exploration polled per run (the serve daemon
     cancels abandoned jobs this way); [jobs] is used otherwise.
-    Truncated or stopped runs are never saved. Returns the result plus
-    the store disposition. *)
+
+    Check keys are cap-agnostic ([max_execs] is not part of the key):
+    clean-but-capped runs save partial entries scoped by their cap, a
+    partial entry only warms runs whose cap is at most the stored one,
+    and the first completing run upgrades the entry in place. Stopped
+    and buggy runs are never saved. Returns the result plus the store
+    disposition ([`Miss] includes a stored entry rejected for a
+    too-large cap). *)
 val explore_checked :
   ?store:t ->
   ?stop:(unit -> bool) ->

@@ -112,6 +112,45 @@ let test_rmw_reads_latest () =
   Alcotest.(check (option int)) "rmw read" (Some 9) a.read_value;
   Alcotest.(check (option int)) "rmw write" (Some 10) a.written_value
 
+(* An RMW on a location with no writes at all must report the same clean
+   uninitialized-access bug as a load with [rf = None] — not raise. The
+   read half observes garbage (0, no rf edge); the write half is a real
+   store later accesses can read. *)
+let test_rmw_uninitialized () =
+  let uninit p =
+    List.exists (function E.Uninitialized_load _ -> true | _ -> false) p
+  in
+  let x = E.create () in
+  (* loc 0 is never allocated: zero stores, not even a poison write *)
+  let loc = 0 in
+  let m = E.mark x in
+  let a, problems = E.commit_rmw x ~tid:0 ~mo:Acq_rel ~loc ~value:7 () in
+  Alcotest.(check bool) "uninitialized access reported" true (uninit problems);
+  Alcotest.(check bool) "no rf edge" true (a.rf = None);
+  Alcotest.(check (option int)) "read half observes 0" (Some 0) a.read_value;
+  Alcotest.(check (option int)) "write half committed" (Some 7) a.written_value;
+  (* the write half is real: it is now the mo-maximal write *)
+  (match E.rmw_candidate x ~loc with
+  | Some w -> Alcotest.(check (option int)) "rmw value readable" (Some 7) w.written_value
+  | None -> Alcotest.fail "rmw write half missing");
+  (* a second RMW chains off it cleanly *)
+  let b, p2 = E.commit_rmw x ~tid:0 ~mo:Acq_rel ~loc ~value:8 () in
+  Alcotest.(check bool) "second rmw is clean" false (uninit p2);
+  Alcotest.(check (option int)) "second rmw reads the first" (Some 7) b.read_value;
+  (* restore rewinds the half-committed rmw without desync *)
+  E.restore x m;
+  Alcotest.(check bool) "restore rewinds to zero stores" true
+    (E.rmw_candidate x ~loc = None);
+  let c, p3 = E.commit_rmw x ~tid:0 ~mo:Acq_rel ~loc ~value:9 () in
+  Alcotest.(check bool) "replayed rmw still reported" true (uninit p3);
+  Alcotest.(check (option int)) "replayed write half" (Some 9) c.written_value;
+  (* and an RMW reading an allocated-but-uninitialized (poison) cell is
+     reported the same way, with a real rf edge to the poison write *)
+  let ploc = E.alloc x ~tid:0 ~count:1 ~init:None in
+  let d, p4 = E.commit_rmw x ~tid:0 ~mo:Acq_rel ~loc:ploc ~value:1 () in
+  Alcotest.(check bool) "poison rmw reported" true (uninit p4);
+  Alcotest.(check bool) "poison rmw has an rf edge" true (d.rf <> None)
+
 let test_release_sequence_clock () =
   (* store-release by T0, RMW by T1, acquire load by T2 reading the RMW:
      T2 must know T0's pre-release writes *)
@@ -230,6 +269,7 @@ let () =
           Alcotest.test_case "relaxed read no sw" `Quick test_relaxed_read_no_sw;
           Alcotest.test_case "race detection" `Quick test_race_detection_direct;
           Alcotest.test_case "rmw reads latest" `Quick test_rmw_reads_latest;
+          Alcotest.test_case "rmw uninitialized" `Quick test_rmw_uninitialized;
           Alcotest.test_case "release sequence clock" `Quick test_release_sequence_clock;
           Alcotest.test_case "hb or sc" `Quick test_hb_or_sc;
           Alcotest.test_case "rf kernel differential" `Quick test_rf_kernel_differential;

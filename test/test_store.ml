@@ -30,6 +30,11 @@ let scratch_dir () =
   rm_rf d;
   d
 
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  |> List.map (Filename.concat dir)
+
 let checker = Cdsspec.Checker.default_config
 
 let run ?store ~jobs ~prune (b : B.t) ~ords (t : B.test) =
@@ -51,9 +56,10 @@ let check_semantics ~where (cold : E.result) (warm : E.result) =
 (* ------------------------------------------------------------------ *)
 (* Fingerprints *)
 
-let default_key ?(kind = `Check) ?(test = "t") ?(prune = true) ?(max_execs = Some cap) ords =
-  Store.job_key ~kind ~bench:"bench" ~test ~ords ~sched:Mc.Scheduler.default_config ~prune
-    ~engine:`Arena ~max_execs ~checker ~use_cache:true
+let default_key ?(kind = `Check) ?(test = "t") ?(prune = true) ?(max_execs = Some cap)
+    ?(sched = Mc.Scheduler.default_config) ords =
+  Store.job_key ~kind ~bench:"bench" ~test ~ords ~sched ~prune ~engine:`Arena ~max_execs ~checker
+    ~use_cache:true
 
 let test_fingerprint_stability () =
   let ords = [ ("a", C11.Memory_order.Seq_cst); ("b", C11.Memory_order.Acquire) ] in
@@ -69,7 +75,15 @@ let test_fingerprint_stability () =
   differs "test name" (default_key ~test:"other" ords);
   differs "ords table" (default_key [ ("a", C11.Memory_order.Relaxed); ("b", C11.Memory_order.Acquire) ]);
   differs "prune flag" (default_key ~prune:false ords);
-  differs "max_executions" (default_key ~max_execs:None ords)
+  differs "rf_kernel flag"
+    (default_key ~sched:{ Mc.Scheduler.default_config with rf_kernel = false } ords);
+  (* check keys are cap-agnostic (the cap lives in the entry's partial
+     flag); advisor keys keep the cap *)
+  Alcotest.(check string) "check keys ignore max_executions" base
+    (Store.fingerprint (default_key ~max_execs:None ords));
+  Alcotest.(check bool) "advisor keys keep max_executions" false
+    (Store.fingerprint (default_key ~kind:`Advisor ~max_execs:None ords)
+    = Store.fingerprint (default_key ~kind:`Advisor ords))
 
 (* ------------------------------------------------------------------ *)
 (* Entry roundtrip *)
@@ -102,6 +116,7 @@ let test_entry_roundtrip () =
       behaviours = [ ("t1", [ 5L; 6L ]); ("t2", []) ];
       explored = 12345;
       time = 1.5;
+      partial = Some 321;
     }
   in
   Store.save s key entry;
@@ -115,7 +130,8 @@ let test_entry_roundtrip () =
     Alcotest.(check bool) "behaviours roundtrip" true
       (e.Store.behaviours = entry.Store.behaviours);
     Alcotest.(check int) "explored roundtrip" entry.Store.explored e.Store.explored;
-    Alcotest.(check bool) "time roundtrip" true (e.Store.time = entry.Store.time));
+    Alcotest.(check bool) "time roundtrip" true (e.Store.time = entry.Store.time);
+    Alcotest.(check bool) "partial roundtrip" true (e.Store.partial = entry.Store.partial));
   (* a different key never reads someone else's entry *)
   let other = default_key ~test:"other" [ ("a", C11.Memory_order.Seq_cst) ] in
   Alcotest.(check bool) "foreign key misses" true (Store.load s other = None);
@@ -213,13 +229,73 @@ let test_parallel_cold_store () =
   check_semantics ~where:"-j2 cold, serial warm" cold warm;
   rm_rf dir
 
+(* A clean run truncated by its execution cap persists a partial entry
+   scoped by that cap. Same-or-smaller caps warm from it (identical bug
+   verdicts; the warm graphs cover the cold ones — a warm run may
+   legitimately out-explore the capped cold run), larger caps are
+   treated as misses, and the first run to explore to completion
+   upgrades the entry in place, after which every cap hits and the
+   graphs equal the uncapped reference. *)
+let test_partial_capped_runs () =
+  let dir = scratch_dir () in
+  let b =
+    match Structures.Registry.find "Treiber Stack" with
+    | Some b -> b
+    | None -> Alcotest.fail "Treiber Stack registered"
+  in
+  let ords = Ords.default b.B.sites in
+  let t = List.hd b.B.tests in
+  let runc ?store max_execs =
+    Store.explore_checked ?store ~checker ~use_cache:true ~max_execs ~jobs:1 ~prune:true
+      ~engine:`Arena b ~ords t
+  in
+  (* uncapped storeless reference *)
+  let reference, _ = runc None in
+  Alcotest.(check bool) "reference is clean" true (reference.bugs = []);
+  Alcotest.(check bool) "reference completes" true (not reference.stats.truncated);
+  let total = reference.stats.explored in
+  Alcotest.(check bool) "structure big enough to cap" true (total >= 8);
+  let small = total / 4 and mid = total / 2 in
+  let store = Store.open_dir dir in
+  let cold, d0 = runc ~store (Some small) in
+  Alcotest.(check bool) "capped cold misses" true (d0 = `Miss);
+  Alcotest.(check bool) "capped cold truncates" true cold.stats.truncated;
+  Alcotest.(check bool) "capped cold is clean" true (cold.bugs = []);
+  Alcotest.(check bool) "partial entry persisted" true (entry_files dir <> []);
+  (* same cap warms: verdict identity, graph coverage *)
+  let warm, d1 = runc ~store (Some small) in
+  Alcotest.(check bool) "same-cap run warms" true (d1 = `Hit);
+  Alcotest.(check (list string)) "same-cap warm bug keys" (keys cold) (keys warm);
+  Alcotest.(check bool) "warm graphs cover cold graphs" true
+    (List.for_all (fun g -> List.mem g warm.graphs) cold.graphs);
+  (* smaller cap is still compatible *)
+  let _, d2 = runc ~store (Some (max 1 (small - 1))) in
+  Alcotest.(check bool) "smaller-cap run warms" true (d2 = `Hit);
+  (* larger cap: the stored partial cannot vouch for it *)
+  let coldm, d3 = runc ~store (Some mid) in
+  Alcotest.(check bool) "larger-cap run misses" true (d3 = `Miss);
+  Alcotest.(check bool) "larger-cap cold truncates" true coldm.stats.truncated;
+  (* uncapped run: miss again, completes, upgrades the entry in place *)
+  let full, d4 = runc ~store None in
+  Alcotest.(check bool) "uncapped run misses the partial entry" true (d4 = `Miss);
+  Alcotest.(check bool) "uncapped run completes" true (not full.stats.truncated);
+  Alcotest.(check bool) "uncapped graphs match reference" true
+    (full.graphs = reference.graphs);
+  (* after the upgrade every cap warms and reports the full graph set *)
+  let warm_full, d5 = runc ~store None in
+  Alcotest.(check bool) "uncapped re-run warms" true (d5 = `Hit);
+  check_semantics ~where:"complete entry, uncapped warm" reference warm_full;
+  let warm_capped, d6 = runc ~store (Some small) in
+  Alcotest.(check bool) "capped run warms off the complete entry" true (d6 = `Hit);
+  Alcotest.(check bool) "capped warm reports the full graph set" true
+    (warm_capped.graphs = reference.graphs);
+  (* the capped warm run must not have downgraded the complete entry *)
+  let _, d7 = runc ~store None in
+  Alcotest.(check bool) "complete entry survives capped warm runs" true (d7 = `Hit);
+  rm_rf dir
+
 (* ------------------------------------------------------------------ *)
 (* Corruption and invalidation *)
-
-let entry_files dir =
-  Sys.readdir dir |> Array.to_list
-  |> List.filter (fun f -> Filename.check_suffix f ".bin")
-  |> List.map (Filename.concat dir)
 
 let test_corrupt_entry_discarded () =
   let dir = scratch_dir () in
@@ -281,6 +357,7 @@ let test_engine_rev_flush () =
       behaviours = [];
       explored = 1;
       time = 0.;
+      partial = None;
     };
   Alcotest.(check bool) "entry exists" true (entry_files dir <> []);
   (* same rev: reopening keeps entries *)
@@ -345,6 +422,7 @@ let () =
         [
           Alcotest.test_case "registry cold vs warm" `Slow test_registry_differential;
           Alcotest.test_case "parallel cold store" `Quick test_parallel_cold_store;
+          Alcotest.test_case "partial capped runs" `Slow test_partial_capped_runs;
         ] );
       ( "integrity",
         [
