@@ -1694,6 +1694,197 @@ let run_rf () =
   in
   write_rf_json registry spin
 
+(* ------------------------------------------------------------------ *)
+(* Commit path: the PR-10 benchmark. The commit-path overhaul's
+   dispatch layer — first-run direct dispatch ([inline_visible]) plus
+   the finished-thread replay skip ([replay_finished = false], sound
+   here: these workloads observe only the execution graph) — against
+   the PR-9-equivalent dispatch (every operation a fiber switch, every
+   finished thread replayed). Both legs share the packed-clock and
+   monomorphic commit kernels, so the delta isolates the dispatch
+   layer. Every exhaustive registry structure (first unit test, prune
+   on, checker on) runs in both modes plus the legacy fresh-run engine;
+   serial DFS is deterministic, so explored counts, distinct-graph
+   sets, bug lists and first traces must be bit-identical across all
+   three — any divergence is a hard failure, making the `--smoke` run
+   CI's dispatch-soundness gate. The spin rows (prune off, best-of-N)
+   measure the wall-clock win in the restore-dominated regime the
+   overhaul targets. Emitted as BENCH_PR10.json with the per-phase
+   counters (commits, fiber switches, inline ops, snapshots, restores)
+   in every row.                                                       *)
+
+let commit_json_file = "BENCH_PR10.json"
+
+type cm_row = {
+  cm_workload : string;
+  cm_explored : int;
+  cm_graphs : int;
+  cm_base_wall_s : float;
+  cm_over_wall_s : float;
+  cm_commits : int;
+  cm_switches : int;
+  cm_inline : int;
+  cm_snapshots : int;
+  cm_restores : int;
+}
+
+let cm_explore ?loop_bound ~mode ~prune ~max_execs (b : B.t) (t : B.test) =
+  let ords = Structures.Ords.default b.sites in
+  let sched, engine =
+    match mode with
+    | `Base ->
+      ({ b.scheduler with Mc.Scheduler.inline_visible = false; replay_finished = true }, `Arena)
+    | `Overhaul ->
+      ({ b.scheduler with Mc.Scheduler.inline_visible = true; replay_finished = false }, `Arena)
+    | `Legacy -> (b.scheduler, `Legacy)
+  in
+  let sched =
+    match loop_bound with
+    | None -> sched
+    | Some lb -> { sched with Mc.Scheduler.loop_bound = lb }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Mc.Parallel.explore ~jobs:1 ~strategy:`Steal
+      ~config:
+        { E.default_config with scheduler = sched; engine; max_executions = max_execs; prune }
+      ~on_feasible:(Cdsspec.Checker.hook b.spec)
+      (t.program ords)
+  in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Serial DFS is deterministic and the dispatch mode never changes a
+   decision, so the identity gates are unconditional even when the
+   execution cap truncates the tree. *)
+let cm_gate ~what (b : B.t) (r : E.result) (base : E.result) =
+  if r.stats.explored <> base.stats.explored then
+    failwith (Printf.sprintf "commit-bench: explored counts diverge (%s) on %s" what b.name);
+  if r.graphs <> base.graphs then
+    failwith (Printf.sprintf "commit-bench: distinct-graph sets diverge (%s) on %s" what b.name);
+  if List.map Mc.Bug.key r.bugs <> List.map Mc.Bug.key base.bugs then
+    failwith (Printf.sprintf "commit-bench: bug lists diverge (%s) on %s" what b.name);
+  if r.first_buggy_trace <> base.first_buggy_trace then
+    failwith (Printf.sprintf "commit-bench: first buggy traces diverge (%s) on %s" what b.name)
+
+let cm_row (b : B.t) test_name ~wall_base ~wall_over (over : E.result) =
+  {
+    cm_workload = b.name ^ "/" ^ test_name;
+    cm_explored = over.stats.explored;
+    cm_graphs = over.stats.distinct_graphs;
+    cm_base_wall_s = wall_base;
+    cm_over_wall_s = wall_over;
+    cm_commits = over.stats.commits;
+    cm_switches = over.stats.fiber_switches;
+    cm_inline = over.stats.inline_ops;
+    cm_snapshots = over.stats.snapshots;
+    cm_restores = over.stats.restores;
+  }
+
+let cm_one ~max_execs (b : B.t) =
+  let t = List.hd b.tests in
+  let timed mode =
+    Gc.compact ();
+    cm_explore ~mode ~prune:true ~max_execs b t
+  in
+  let wall_base, base = timed `Base in
+  let wall_over, over = timed `Overhaul in
+  let _, legacy = cm_explore ~mode:`Legacy ~prune:true ~max_execs b t in
+  cm_gate ~what:"overhaul vs base" b over base;
+  cm_gate ~what:"overhaul vs legacy" b over legacy;
+  cm_row b t.test_name ~wall_base ~wall_over over
+
+(* Spin rows: prune off, best-of-N walls, modes alternating within each
+   round with the leading mode flipped per round (same discipline as
+   the rf spin rows — heap drift otherwise loads onto the later
+   batch). *)
+let cm_spin_one ?loop_bound ~max_execs ~reps (b : B.t) test_name =
+  let t = find_test b test_name in
+  let best_base = ref (infinity, None) in
+  let best_over = ref (infinity, None) in
+  let run over =
+    Gc.compact ();
+    let mode = if over then `Overhaul else `Base in
+    let w, r = cm_explore ?loop_bound ~mode ~prune:false ~max_execs b t in
+    let best = if over then best_over else best_base in
+    if w < fst !best then best := (w, Some r)
+  in
+  for rep = 0 to reps - 1 do
+    let first = rep land 1 = 0 in
+    run first;
+    run (not first)
+  done;
+  let take best = match !best with _, None -> assert false | w, Some r -> (w, r) in
+  let wall_base, base = take best_base in
+  let wall_over, over = take best_over in
+  cm_gate ~what:"overhaul vs base, spin" b over base;
+  cm_row b test_name ~wall_base ~wall_over over
+
+let cm_speedup r = if r.cm_over_wall_s > 0. then r.cm_base_wall_s /. r.cm_over_wall_s else 1.
+
+let write_commit_json registry spin =
+  write_bench_file ~default:commit_json_file ~pr:10
+    ~note:(if !smoke then " (smoke)" else "")
+    (fun oc ->
+      Printf.fprintf oc
+        "  \"smoke\": %b,\n  \"baseline\": \"inline_visible=off, replay_finished=on \
+         (PR9-equivalent dispatch; packed clocks and monomorphic commit kernels in both \
+         legs)\",\n  \"median_speedup\": %.2f,\n  \"median_spin_speedup\": %.2f,\n  \
+         \"registry\": [\n"
+        !smoke
+        (median (List.map cm_speedup registry))
+        (median (List.map cm_speedup spin));
+      let row i n r =
+        Printf.fprintf oc
+          "    {\"workload\": %S, \"explored\": %d, \"distinct_graphs\": %d, \
+           \"wall_base_s\": %.4f, \"wall_overhaul_s\": %.4f, \"speedup\": %.2f, \
+           \"commits\": %d, \"fiber_switches\": %d, \"inline_ops\": %d, \"snapshots\": %d, \
+           \"restores\": %d, \"identical\": true}%s\n"
+          r.cm_workload r.cm_explored r.cm_graphs r.cm_base_wall_s r.cm_over_wall_s
+          (cm_speedup r) r.cm_commits r.cm_switches r.cm_inline r.cm_snapshots r.cm_restores
+          (if i = n - 1 then "" else ",")
+      in
+      List.iteri (fun i r -> row i (List.length registry) r) registry;
+      Printf.fprintf oc "  ],\n  \"spin\": [\n";
+      List.iteri (fun i r -> row i (List.length spin) r) spin;
+      Printf.fprintf oc "  ]\n")
+
+let run_commit () =
+  section
+    (Printf.sprintf "Commit path: first-run direct dispatch%s"
+       (if !smoke then " (smoke subset)" else ""));
+  let max_execs = if !smoke then Some 20_000 else Some 400_000 in
+  Format.printf "%-34s %9s %7s %10s %10s %8s %10s %10s@." "Workload" "explored" "graphs"
+    "base (s)" "over (s)" "speedup" "inline" "switches";
+  let print r =
+    Format.printf "%-34s %9d %7d %10.3f %10.3f %7.2fx %10d %10d@." r.cm_workload r.cm_explored
+      r.cm_graphs r.cm_base_wall_s r.cm_over_wall_s (cm_speedup r) r.cm_inline r.cm_switches
+  in
+  let registry =
+    List.map
+      (fun b ->
+        let r = cm_one ~max_execs b in
+        print r;
+        r)
+      Structures.Registry.exhaustive
+  in
+  let reps = if !smoke then 3 else 5 in
+  Format.printf "@.%-34s %9s %7s %10s %10s %8s %10s %10s@." "Spin workload (prune off)" "explored"
+    "graphs" "base (s)" "over (s)" "speedup" "restores" "snapshots";
+  let spin =
+    List.map
+      (fun (b, test_name, loop_bound) ->
+        let r = cm_spin_one ?loop_bound ~max_execs ~reps b test_name in
+        Format.printf "%-34s %9d %7d %10.3f %10.3f %7.2fx %10d %10d@." r.cm_workload r.cm_explored
+          r.cm_graphs r.cm_base_wall_s r.cm_over_wall_s (cm_speedup r) r.cm_restores
+          r.cm_snapshots;
+        r)
+      [
+        (Structures.Mcs_lock.benchmark, "two-threads", Some 48);
+        (Structures.Chase_lev_deque.benchmark, "small", None);
+      ]
+  in
+  write_commit_json registry spin
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* split --jobs N / --jobs=N / -j N off the job-name list *)
@@ -1744,9 +1935,10 @@ let () =
       | "replay" -> run_replay ()
       | "serve" -> run_serve ()
       | "rf" -> run_rf ()
+      | "commit" -> run_commit ()
       | other ->
         Format.printf
           "unknown job %S \
-           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay|serve|rf)@."
+           (fig7|fig8|expr|known|ablation|timing|fuzz|lint|check-cache|explore|replay|serve|rf|commit)@."
           other)
     names

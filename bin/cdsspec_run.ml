@@ -97,8 +97,8 @@ let report_result ~verbose ~dot (b : B.t) (t : B.test) (r : E.result) =
   ignore (b, t);
   r.bugs <> []
 
-let exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine (b : B.t) ~ords
-    (t : B.test) =
+let exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine ~profile (b : B.t)
+    ~ords (t : B.test) =
   let r, disposition =
     Store.explore_checked ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine b ~ords t
   in
@@ -127,6 +127,18 @@ let exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune ~engine (b
     (if s.snapshots > 0 || s.restores > 0 then
        Printf.sprintf ", %d snapshots, %d restores" s.snapshots s.restores
      else "");
+  if profile then begin
+    (* Per-phase work units: where an execution's wall time goes. *)
+    let per v = if s.explored > 0 then float_of_int v /. float_of_int s.explored else 0. in
+    Format.printf "  profile: %d commits (%.1f/exec), %d fiber switches (%.1f/exec), %d inline \
+                   ops (%.1f/exec)@."
+      s.commits (per s.commits) s.fiber_switches (per s.fiber_switches) s.inline_ops
+      (per s.inline_ops);
+    Format.printf "  profile: %d rf queries (%d fast, %d rejected), %d snapshots, %d restores, \
+                   check cache %d/%d@."
+      s.rf_queries s.rf_fast s.rf_rejected s.snapshots s.restores s.check.cache_hits
+      (s.check.cache_hits + s.check.cache_misses)
+  end;
   r
 
 let fuzz_one ~checker ~use_cache ~max_execs ~seed ~time_budget ~bias (b : B.t) ~ords (t : B.test)
@@ -199,6 +211,9 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
         minor_words = 0.;
         snapshots = 0;
         restores = 0;
+        commits = C11.Execution.commit_count run_r.exec;
+        fiber_switches = run_r.switches;
+        inline_ops = run_r.inline_ops;
         rf_queries = 0;
         rf_fast = 0;
         rf_rejected = 0;
@@ -213,7 +228,7 @@ let replay_one ~checker ~use_cache ~decisions (b : B.t) ~ords (t : B.test) =
   }
 
 let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_prune legacy
-    no_rf_kernel fuzzing replay store_dir =
+    no_rf_kernel profile fuzzing replay store_dir =
   match find_bench name with
   | Error e -> e
   | Ok b -> (
@@ -245,7 +260,7 @@ let check_cmd name test_filter weaken overrides max_execs verbose dot jobs no_pr
           else
             Ok
               (exhaustive_one ?store ~checker ~use_cache ~max_execs ~jobs ~prune:(not no_prune)
-                 ~engine:(if legacy then `Legacy else `Arena))
+                 ~engine:(if legacy then `Legacy else `Arena) ~profile)
       in
       match run with
       | Error e -> e
@@ -687,6 +702,15 @@ let check_term =
              Graph sets, bug lists and verdicts are identical either way (that equivalence is \
              tested); this is the escape hatch for differential debugging.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print the per-phase work counters after each exhaustive run: commits, fiber \
+             switches, direct-dispatch inline ops, rf-kernel queries, snapshot/restore counts \
+             and check-cache traffic — where the wall time went, without re-profiling.")
+  in
   let store_dir =
     Arg.(
       value
@@ -701,12 +725,12 @@ let check_term =
   Term.(
     const
       (fun name test weaken overrides max_execs verbose dot jobs no_prune legacy no_rf_kernel
-           fuzzing replay store_dir ->
+           profile fuzzing replay store_dir ->
         exit_of
           (check_cmd name test weaken overrides max_execs verbose dot jobs no_prune legacy
-             no_rf_kernel fuzzing replay store_dir))
+             no_rf_kernel profile fuzzing replay store_dir))
     $ bench_arg $ test $ weaken $ overrides $ max_execs $ verbose $ dot $ jobs_term $ no_prune
-    $ legacy_engine $ no_rf_kernel $ fuzzing_term $ replay $ store_dir)
+    $ legacy_engine $ no_rf_kernel $ profile $ fuzzing_term $ replay $ store_dir)
 
 let lint_term =
   let bench = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in

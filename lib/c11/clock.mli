@@ -2,7 +2,16 @@
 
     Clocks represent happens-before knowledge: entry [i] is the largest
     per-thread sequence number of thread [i] known to happen before the
-    holder. Thread ids are small dense integers; clocks grow on demand. *)
+    holder. Thread ids are small dense integers; clocks grow on demand.
+
+    Representation: clocks confined to tids 0..3 with entries <= 32767
+    are packed into a single immediate int (four 15-bit fields), so
+    [join]/[set]/[leq] on them are allocation-free word arithmetic and
+    equal packed clocks are physically equal. Anything larger spills
+    transparently to an immutable int-array fallback. The two forms are
+    canonical — a clock is packed iff it is packable — so physical
+    equality still implies [equal] and the mixed case is never equal
+    (see the representation contract in clock.ml and HACKING.md). *)
 
 type t
 
@@ -28,5 +37,11 @@ val covers : t -> tid:int -> seq:int -> bool
 val leq : t -> t -> bool
 
 val equal : t -> t -> bool
+
+(** True when the clock is in the packed immediate form — i.e. all its
+    knowledge fits tids 0..3 with entries <= 32767. Representation
+    introspection for tests and benchmarks; semantics never depend on
+    it. *)
+val is_packed : t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -127,6 +127,9 @@ type t = {
          fence-mediated SC rules (29.3p5/p6/p7) are all vacuous, which
          is what licenses the kernel's O(1) fast path. *)
   rfc : Rf_kernel.counters;
+  mutable n_commits : int;
+      (* cumulative actions committed, never rewound by [restore] —
+         a phase counter, like [rfc], not graph state *)
 }
 
 let create ?(rf_kernel = true) () =
@@ -143,9 +146,11 @@ let create ?(rf_kernel = true) () =
     use_kernel = rf_kernel;
     sc_fence_live = 0;
     rfc = Rf_kernel.counters_create ();
+    n_commits = 0;
   }
 
 let rf_counters t = (t.rfc.Rf_kernel.queries, t.rfc.Rf_kernel.fast, t.rfc.Rf_kernel.rejected)
+let commit_count t = t.n_commits
 
 let new_thread_state () =
   {
@@ -208,7 +213,25 @@ let push_store t ls (a : Action.t) =
   Rf_kernel.on_write ls.rfk ~tid:a.tid ~seq:a.seq ~id:a.id ~idx
     ~sc:(Memory_order.is_seq_cst a.mo);
   if a.kind = Action.Na_store then ls.na_stores <- ls.na_stores + 1;
-  Vec.push ls.acq_memo None;
+  (* Opportunistic release-sequence memo: [acquired_clock] at the new
+     top index is derivable in O(1) for the two shapes the hot paths
+     hit — the location's first store (the sequence is just this write),
+     and an RMW whose predecessor's memo is known (an RMW atop the chain
+     invalidates no lower head, so it only adds its own release clock).
+     Anything else stays lazy and is filled by the walk on first read. *)
+  let memo =
+    if idx = 0 then
+      Some (match a.release_clock with Some rc -> rc | None -> Clock.empty)
+    else if a.kind = Action.Rmw then begin
+      match Vec.get ls.acq_memo (idx - 1) with
+      | Some prev ->
+        Some
+          (match a.release_clock with Some rc -> Clock.join prev rc | None -> prev)
+      | None -> None
+    end
+    else None
+  in
+  Vec.push ls.acq_memo memo;
   let old = ls.fp_mo in
   Vec.push ls.fp_mo_hist old;
   let nw = h_int (h_int old a.tid) a.seq in
@@ -517,8 +540,11 @@ let rmw_candidate t ~loc =
   | Some ls when not (Vec.is_empty ls.stores) -> Some (Vec.last ls.stores)
   | _ -> None
 
-let mk_action t ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock ~release_clock () =
-  let ts = thread t tid in
+(* [mk_action] takes the already-looked-up [ts]: every commit kernel
+   resolves its thread state exactly once and threads it through, so the
+   bounds-checked (and potentially growing) [thread] lookup is off the
+   per-action path. *)
+let mk_action t ts ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock ~release_clock () =
   let seq = ts.seq + 1 in
   let a =
     {
@@ -566,11 +592,10 @@ let mk_action t ~tid ~kind ~loc ~mo ?read_value ?written_value ?rf ?site ~clock 
     t.fp_sc <- nw;
     t.fp <- t.fp lxor old lxor nw
   end;
+  t.n_commits <- t.n_commits + 1;
   a
 
-let base_clock t tid =
-  let ts = thread t tid in
-  Clock.set ts.clock tid (ts.seq + 1)
+let[@inline] base_clock ts tid = Clock.set ts.clock tid (ts.seq + 1)
 
 (* Fold newly-acquired knowledge into the thread's foreign-knowledge
    clock, journaling only on a physical change ([Clock.join] returns its
@@ -585,34 +610,63 @@ let join_fclock t ts tid c =
     ts.fclock <- fc
   end
 
+(* ------------------------------------------------------------------ *)
+(* Monomorphic commit kernels                                          *)
+
+(* The read and write halves of a committing action, specialized per
+   memory-order class and shared between [commit_load]/[commit_rmw] and
+   [commit_store]/[commit_rmw] respectively. The relaxed-class read
+   kernel only feeds the pending-acquire accumulator (29.8p3); the
+   acquire-class kernel additionally publishes the acquired clock into
+   the reader's clock and foreign-knowledge clock. Every kernel journals
+   only on a physical change: with packed clocks a join that adds
+   nothing returns (a value [==] to) its first operand, so spin-loop
+   re-reads of the same store touch neither the journal nor the heap. *)
+
+let[@inline] read_half_pending t ts tid acquired =
+  let pending = Clock.join ts.pending_acquire acquired in
+  if pending != ts.pending_acquire then begin
+    Vec.push t.journal (J_pending (tid, ts.pending_acquire));
+    ts.pending_acquire <- pending
+  end
+
+let[@inline] read_half_relaxed t ts tid base acquired =
+  read_half_pending t ts tid acquired;
+  base
+
+let[@inline] read_half_acquire t ts tid base acquired =
+  join_fclock t ts tid acquired;
+  read_half_pending t ts tid acquired;
+  Clock.join base acquired
+
+(* Write half: the release clock carried by a new store — its own clock
+   for release-class writes, the clock of the thread's newest release
+   fence otherwise (29.8p4), [None] when neither applies. Reads straight
+   off the hoisted thread state; no lookup, no allocation. *)
+let[@inline] write_release_clock ts ~mo ~clock =
+  if Memory_order.is_release mo then Some clock else ts.release_fence
+
 let commit_load t ~tid ~mo ~loc ~rf ?site () =
   let ts = thread t tid in
   let ls = loc_state t loc in
-  let base = base_clock t tid in
+  let base = base_clock ts tid in
   match rf with
   | None ->
     let a =
-      mk_action t ~tid ~kind:Action.Load ~loc ~mo ~read_value:0 ?site ~clock:base ~release_clock:None ()
+      mk_action t ts ~tid ~kind:Action.Load ~loc ~mo ~read_value:0 ?site ~clock:base
+        ~release_clock:None ()
     in
     (a, Uninitialized_load a :: race_problems ls a)
   | Some (w : Action.t) ->
     let idx = store_index t w in
     let acquired = acquired_clock ls idx in
     let clock =
-      if Memory_order.is_acquire mo then begin
-        join_fclock t ts tid acquired;
-        Clock.join base acquired
-      end
-      else base
+      if Memory_order.is_acquire mo then read_half_acquire t ts tid base acquired
+      else read_half_relaxed t ts tid base acquired
     in
-    let pending = Clock.join ts.pending_acquire acquired in
-    if pending != ts.pending_acquire then begin
-      Vec.push t.journal (J_pending (tid, ts.pending_acquire));
-      ts.pending_acquire <- pending
-    end;
     let read_value = match w.written_value with Some v -> v | None -> 0 in
     let a =
-      mk_action t ~tid ~kind:Action.Load ~loc ~mo ~read_value ~rf:w.id ?site ~clock
+      mk_action t ts ~tid ~kind:Action.Load ~loc ~mo ~read_value ~rf:w.id ?site ~clock
         ~release_clock:None ()
     in
     push_read ls a idx;
@@ -621,13 +675,14 @@ let commit_load t ~tid ~mo ~loc ~rf ?site () =
     (a, problems)
 
 let commit_na_load t ~tid ~loc ?site () =
+  let ts = thread t tid in
   let ls = loc_state t loc in
-  let base = base_clock t tid in
+  let base = base_clock ts tid in
   let n = Vec.length ls.stores in
   if n = 0 then begin
     let a =
-      mk_action t ~tid ~kind:Action.Na_load ~loc ~mo:Memory_order.Relaxed ~read_value:0 ?site ~clock:base
-        ~release_clock:None ()
+      mk_action t ts ~tid ~kind:Action.Na_load ~loc ~mo:Memory_order.Relaxed ~read_value:0 ?site
+        ~clock:base ~release_clock:None ()
     in
     (a, Uninitialized_load a :: race_problems ls a)
   end
@@ -635,7 +690,7 @@ let commit_na_load t ~tid ~loc ?site () =
     let w = Vec.last ls.stores in
     let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
     let a =
-      mk_action t ~tid ~kind:Action.Na_load ~loc ~mo:Memory_order.Relaxed ~read_value
+      mk_action t ts ~tid ~kind:Action.Na_load ~loc ~mo:Memory_order.Relaxed ~read_value
         ~rf:w.Action.id ?site ~clock:base ~release_clock:None ()
     in
     Vec.push ls.na_reads a;
@@ -644,27 +699,24 @@ let commit_na_load t ~tid ~loc ?site () =
     (a, problems)
   end
 
-let write_release_clock t ~tid ~mo ~clock =
-  if Memory_order.is_release mo then Some clock
-  else
-    match (thread t tid).release_fence with
-    | Some fc -> Some fc
-    | None -> None
-
 let commit_store t ~tid ~mo ~loc ~value ?site () =
+  let ts = thread t tid in
   let ls = loc_state t loc in
-  let clock = base_clock t tid in
-  let release_clock = write_release_clock t ~tid ~mo ~clock in
-  let a = mk_action t ~tid ~kind:Action.Store ~loc ~mo ~written_value:value ?site ~clock ~release_clock () in
+  let clock = base_clock ts tid in
+  let release_clock = write_release_clock ts ~mo ~clock in
+  let a =
+    mk_action t ts ~tid ~kind:Action.Store ~loc ~mo ~written_value:value ?site ~clock ~release_clock ()
+  in
   push_store t ls a;
   (a, race_problems ls a)
 
 let commit_na_store t ~tid ~loc ~value ?site () =
+  let ts = thread t tid in
   let ls = loc_state t loc in
-  let clock = base_clock t tid in
+  let clock = base_clock ts tid in
   let a =
-    mk_action t ~tid ~kind:Action.Na_store ~loc ~mo:Memory_order.Relaxed ~written_value:value ?site ~clock
-      ~release_clock:None ()
+    mk_action t ts ~tid ~kind:Action.Na_store ~loc ~mo:Memory_order.Relaxed ~written_value:value ?site
+      ~clock ~release_clock:None ()
   in
   push_store t ls a;
   (a, race_problems ls a)
@@ -677,10 +729,10 @@ let commit_rmw t ~tid ~mo ~loc ~value ?site () =
        observes garbage (reported as a problem, value 0) — but the write
        half still happens, so the RMW commits with no reads-from edge
        instead of crashing the run *)
-    let clock = base_clock t tid in
-    let release_clock = write_release_clock t ~tid ~mo ~clock in
+    let clock = base_clock ts tid in
+    let release_clock = write_release_clock ts ~mo ~clock in
     let a =
-      mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value:0 ~written_value:value ?site ~clock
+      mk_action t ts ~tid ~kind:Action.Rmw ~loc ~mo ~read_value:0 ~written_value:value ?site ~clock
         ~release_clock ()
     in
     push_store t ls a;
@@ -689,24 +741,16 @@ let commit_rmw t ~tid ~mo ~loc ~value ?site () =
   else begin
     let w = Vec.last ls.stores in
     let idx = Vec.length ls.stores - 1 in
-    let base = base_clock t tid in
+    let base = base_clock ts tid in
     let acquired = acquired_clock ls idx in
     let clock =
-      if Memory_order.is_acquire mo then begin
-        join_fclock t ts tid acquired;
-        Clock.join base acquired
-      end
-      else base
+      if Memory_order.is_acquire mo then read_half_acquire t ts tid base acquired
+      else read_half_relaxed t ts tid base acquired
     in
-    let pending = Clock.join ts.pending_acquire acquired in
-    if pending != ts.pending_acquire then begin
-      Vec.push t.journal (J_pending (tid, ts.pending_acquire));
-      ts.pending_acquire <- pending
-    end;
-    let release_clock = write_release_clock t ~tid ~mo ~clock in
+    let release_clock = write_release_clock ts ~mo ~clock in
     let read_value = match w.Action.written_value with Some v -> v | None -> 0 in
     let a =
-      mk_action t ~tid ~kind:Action.Rmw ~loc ~mo ~read_value ~written_value:value
+      mk_action t ts ~tid ~kind:Action.Rmw ~loc ~mo ~read_value ~written_value:value
         ~rf:w.Action.id ?site ~clock ~release_clock ()
     in
     push_read ls a idx;
@@ -718,7 +762,7 @@ let commit_rmw t ~tid ~mo ~loc ~value ?site () =
 
 let commit_fence t ~tid ~mo =
   let ts = thread t tid in
-  let base = base_clock t tid in
+  let base = base_clock ts tid in
   let clock =
     if Memory_order.is_acquire mo then begin
       join_fclock t ts tid ts.pending_acquire;
@@ -727,7 +771,7 @@ let commit_fence t ~tid ~mo =
     else base
   in
   let a =
-    mk_action t ~tid ~kind:Action.Fence ~loc:Action.no_loc ~mo ~clock ~release_clock:None ()
+    mk_action t ts ~tid ~kind:Action.Fence ~loc:Action.no_loc ~mo ~clock ~release_clock:None ()
   in
   if Memory_order.is_release mo then begin
     Vec.push t.journal (J_release_fence (tid, ts.release_fence));
@@ -740,9 +784,10 @@ let commit_fence t ~tid ~mo =
   a
 
 let commit_create t ~tid ~child =
-  let clock = base_clock t tid in
+  let ts = thread t tid in
+  let clock = base_clock ts tid in
   let a =
-    mk_action t ~tid ~kind:(Action.Create child) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
+    mk_action t ts ~tid ~kind:(Action.Create child) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
       ~release_clock:None ()
   in
   let child_ts = thread t child in
@@ -753,28 +798,30 @@ let commit_create t ~tid ~child =
 let commit_start t ~tid =
   let ts = thread t tid in
   join_fclock t ts tid ts.inherited;
-  let clock = Clock.join (base_clock t tid) ts.inherited in
-  mk_action t ~tid ~kind:Action.Start ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock ~release_clock:None
-    ()
+  let clock = Clock.join (base_clock ts tid) ts.inherited in
+  mk_action t ts ~tid ~kind:Action.Start ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
+    ~release_clock:None ()
 
 let commit_finish t ~tid =
-  let clock = base_clock t tid in
-  mk_action t ~tid ~kind:Action.Finish ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock ~release_clock:None
-    ()
+  let ts = thread t tid in
+  let clock = base_clock ts tid in
+  mk_action t ts ~tid ~kind:Action.Finish ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
+    ~release_clock:None ()
 
 let commit_join t ~tid ~target =
   let ts = thread t tid in
   let target_clock = (thread t target).clock in
   join_fclock t ts tid target_clock;
-  let clock = Clock.join (base_clock t tid) target_clock in
-  mk_action t ~tid ~kind:(Action.Join target) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
+  let clock = Clock.join (base_clock ts tid) target_clock in
+  mk_action t ts ~tid ~kind:(Action.Join target) ~loc:Action.no_loc ~mo:Memory_order.Relaxed ~clock
     ~release_clock:None ()
 
 let commit_poison t ~tid ~loc =
+  let ts = thread t tid in
   let ls = loc_state t loc in
-  let clock = base_clock t tid in
+  let clock = base_clock ts tid in
   let a =
-    mk_action t ~tid ~kind:Action.Store ~loc ~mo:Memory_order.Relaxed ~site:"<alloc>" ~clock
+    mk_action t ts ~tid ~kind:Action.Store ~loc ~mo:Memory_order.Relaxed ~site:"<alloc>" ~clock
       ~release_clock:None ()
   in
   push_store t ls a
@@ -912,6 +959,7 @@ let copy t =
     use_kernel = t.use_kernel;
     sc_fence_live = t.sc_fence_live;
     rfc = Rf_kernel.copy_counters t.rfc;
+    n_commits = t.n_commits;
   }
 
 let pp ppf t =

@@ -34,6 +34,12 @@ val create : ?rf_kernel:bool -> unit -> t
     {!restore}. *)
 val rf_counters : t -> int * int * int
 
+(** Total actions committed on this arena since creation — the commit
+    phase counter. Cumulative like {!rf_counters}: never rewound by
+    {!restore}, so across an arena session it counts every commit the
+    search performed, including ones later undone. *)
+val commit_count : t -> int
+
 (** {1 Locations} *)
 
 (** [alloc t ~tid ~count ~init] reserves [count] fresh consecutive

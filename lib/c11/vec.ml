@@ -46,6 +46,8 @@ let[@inline] pop v =
 
 let copy v = { data = Array.copy v.data; len = v.len }
 
+let[@inline] unsafe_data v = v.data
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f (Array.unsafe_get v.data i)

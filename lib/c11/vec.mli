@@ -28,6 +28,12 @@ val pop : 'a t -> 'a
 (** Shallow copy: fresh backing storage, shared elements. *)
 val copy : 'a t -> 'a t
 
+(** The live backing array, for hot loops that have already validated an
+    index bound against {!length}. Entries at or past [length v] are
+    garbage, and any {!push} may replace the array entirely — callers
+    must not retain it across mutation. *)
+val unsafe_data : 'a t -> 'a array
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list

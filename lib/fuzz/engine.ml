@@ -204,6 +204,9 @@ let explorer_result (r : result) : Mc.Explorer.result =
         minor_words = 0.;
         snapshots = 0;
         restores = 0;
+        commits = 0;
+        fiber_switches = 0;
+        inline_ops = 0;
         rf_queries = 0;
         rf_fast = 0;
         rf_rejected = 0;

@@ -48,6 +48,9 @@ type stats = {
   minor_words : float;  (* minor-heap words allocated during the search *)
   snapshots : int;  (* arena snapshots captured (0 under the legacy engine) *)
   restores : int;  (* arena snapshot restores (0 under the legacy engine) *)
+  commits : int;  (* actions committed (incl. re-commits after restore) *)
+  fiber_switches : int;  (* ops that suspended their fiber via an effect *)
+  inline_ops : int;  (* ops committed in the dispatch hook, no suspension *)
   rf_queries : int;  (* rf-candidate floor queries answered *)
   rf_fast : int;  (* memoized O(1) answers among them (0 with the kernel off) *)
   rf_rejected : int;  (* stores rejected before replay, summed over queries *)
@@ -197,6 +200,11 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
      end); the legacy engine builds a fresh execution per run, so each
      run's totals are summed as they go. *)
   let rf_q = ref 0 and rf_f = ref 0 and rf_r = ref 0 in
+  (* Same split for the phase counters: [switches]/[inline_ops] are
+     cumulative across a session but per-run under the legacy engine, and
+     the arena's single execution accumulates commits for the whole
+     search where the legacy engine's per-run executions must be summed. *)
+  let commits = ref 0 and switches = ref 0 and inlined = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     let r =
@@ -210,8 +218,13 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
       let q, f, rej = C11.Execution.rf_counters r.exec in
       rf_q := !rf_q + q;
       rf_f := !rf_f + f;
-      rf_r := !rf_r + rej
-    | Some _ -> ());
+      rf_r := !rf_r + rej;
+      commits := !commits + C11.Execution.commit_count r.exec;
+      switches := !switches + r.switches;
+      inlined := !inlined + r.inline_ops
+    | Some _ ->
+      switches := r.switches;
+      inlined := r.inline_ops);
     (match config.progress with
     | Some f when !explored mod 1024 = 0 ->
       let p0 = Monotonic.now () in
@@ -282,7 +295,8 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
     let q, f, rej = C11.Execution.rf_counters (Scheduler.session_exec s) in
     rf_q := q;
     rf_f := f;
-    rf_r := rej
+    rf_r := rej;
+    commits := C11.Execution.commit_count (Scheduler.session_exec s)
   | None -> ());
   {
     stats =
@@ -300,6 +314,9 @@ let explore_subtree ?(config = default_config) ?on_feasible ?(check = fun () -> 
         minor_words = (Gc.quick_stat ()).Gc.minor_words -. g0;
         snapshots;
         restores;
+        commits = !commits;
+        fiber_switches = !switches;
+        inline_ops = !inlined;
         rf_queries = !rf_q;
         rf_fast = !rf_f;
         rf_rejected = !rf_r;

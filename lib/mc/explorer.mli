@@ -74,6 +74,20 @@ type stats = {
           allocation-per-execution the arena engine is meant to shrink *)
   snapshots : int;  (** arena snapshots captured; 0 under [`Legacy] *)
   restores : int;  (** arena snapshot restores; 0 under [`Legacy] *)
+  commits : int;
+      (** actions committed through the {!C11.Execution} commit path
+          during the search, including re-commits after a restore
+          ({!C11.Execution.commit_count}) — the commit-kernel phase's
+          work unit *)
+  fiber_switches : int;
+      (** operations that suspended their fiber with an effect
+          round-trip ({!Scheduler.run_result.switches} totalled over
+          the search) *)
+  inline_ops : int;
+      (** operations committed inside the direct-dispatch hook without
+          suspending ({!Scheduler.run_result.inline_ops} totalled);
+          [fiber_switches + inline_ops] is every operation the programs
+          issued outside restore-replay *)
   rf_queries : int;
       (** rf-candidate floor queries ({!C11.Execution.rf_counters})
           answered during the search *)

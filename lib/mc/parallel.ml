@@ -64,6 +64,9 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
       minor_words = 0.;
       snapshots = 0;
       restores = 0;
+      commits = 0;
+      fiber_switches = 0;
+      inline_ops = 0;
       rf_queries = 0;
       rf_fast = 0;
       rf_rejected = 0;
@@ -98,6 +101,9 @@ let merge ~t0 ~stopped ~check (results : Explorer.result list) : Explorer.result
           minor_words = s.minor_words +. r.stats.minor_words;
           snapshots = s.snapshots + r.stats.snapshots;
           restores = s.restores + r.stats.restores;
+          commits = s.commits + r.stats.commits;
+          fiber_switches = s.fiber_switches + r.stats.fiber_switches;
+          inline_ops = s.inline_ops + r.stats.inline_ops;
           rf_queries = s.rf_queries + r.stats.rf_queries;
           rf_fast = s.rf_fast + r.stats.rf_fast;
           rf_rejected = s.rf_rejected + r.stats.rf_rejected;

@@ -28,22 +28,70 @@ type op =
 
 type _ Effect.t += Do : op -> int Effect.t
 
-(* Fast path around the effect machinery: the scheduler installs a
-   per-domain hook that handles an operation *without* suspending the
-   fiber whenever it can decide the result locally — invisible
-   operations (committed immediately; they are not decision points) and
-   replay-fed values. [None] means the operation needs the scheduler:
-   fall back to performing the effect, which pauses the fiber. *)
-let dispatch : (op -> int option) option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+(* Fast paths around the effect machinery. The scheduler installs a
+   per-domain dispatcher with two tiers:
 
-let do_op op =
-  match !(Domain.DLS.get dispatch) with
+   - [hook]: a general hook consulted before performing {!Do} — it
+     commits invisible operations (and, when sound, visible ones)
+     without suspending the fiber, returning [None] for operations that
+     need a real scheduling decision, which fall back to the effect.
+   - [rp_*]: the restore-replay value feed. While a snapshot restore
+     re-runs a thread's closure, every operation's result is the next
+     entry of its logged value stream; the wrappers below consume it
+     directly — no [op] record is built, no option is allocated, no
+     closure is entered. The feed is positional, so op payloads are
+     irrelevant except for [Spawn], which must also re-register the
+     child's closure via [rp_spawn] (fibers are rebuilt from scratch
+     after a restore). [rp_limit = 0] (the default) disables the tier;
+     a thread's feed drains exactly at the operation it was paused at
+     when the snapshot was taken, and that operation then performs the
+     effect as usual.
+
+   Replay cost is the hot floor of the arena engine (every explored
+   execution replays a whole program prefix), which is why the feed is
+   flattened into the dispatcher rather than routed through [hook]. *)
+type dispatcher = {
+  mutable hook : (op -> int option) option;
+  mutable rp_vals : int array;
+  mutable rp_next : int;
+  mutable rp_limit : int;
+  mutable rp_spawn : int -> (unit -> unit) -> unit;
+}
+
+let dispatch : dispatcher Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        hook = None;
+        rp_vals = [||];
+        rp_next = 0;
+        rp_limit = 0;
+        rp_spawn = (fun _ _ -> invalid_arg "Program: replay feed active with no rp_spawn");
+      })
+
+(* Guarded by the callers' [rp_next < rp_limit] check; [rp_limit] never
+   exceeds the feed array's length. *)
+let[@inline] rp_take d =
+  let v = Array.unsafe_get d.rp_vals d.rp_next in
+  d.rp_next <- d.rp_next + 1;
+  v
+
+let[@inline] slow_op d op =
+  match d.hook with
   | Some f -> ( match f op with Some v -> v | None -> Effect.perform (Do op))
   | None -> Effect.perform (Do op)
 
-let load ?site mo loc = do_op (Load { mo; loc; site })
+let do_op op =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then rp_take d else slow_op d op
 
-let store ?site mo loc value = ignore (do_op (Store { mo; loc; value; site }))
+let load ?site mo loc =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then rp_take d else slow_op d (Load { mo; loc; site })
+
+let store ?site mo loc value =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then ignore (rp_take d)
+  else ignore (slow_op d (Store { mo; loc; value; site }))
 
 (* C11 requires the failure order of a CAS to be no stronger than the
    success order and not a release order; this is the strongest legal
@@ -56,25 +104,48 @@ let default_fail_mo (mo : mo) : mo =
 
 let cas_val ?site ?fail_mo mo loc ~expected ~desired =
   let fail_mo = match fail_mo with Some f -> f | None -> default_fail_mo mo in
-  let observed = do_op (Cas { mo; fail_mo; loc; expected; desired; site }) in
+  let d = Domain.DLS.get dispatch in
+  let observed =
+    if d.rp_next < d.rp_limit then rp_take d
+    else slow_op d (Cas { mo; fail_mo; loc; expected; desired; site })
+  in
   (observed = expected, observed)
 
 let cas ?site ?fail_mo mo loc ~expected ~desired =
   fst (cas_val ?site ?fail_mo mo loc ~expected ~desired)
 
-let fetch_add ?site mo loc delta = do_op (Fetch_add { mo; loc; delta; site })
+let fetch_add ?site mo loc delta =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then rp_take d else slow_op d (Fetch_add { mo; loc; delta; site })
 
-let exchange ?site mo loc value = do_op (Exchange { mo; loc; value; site })
+let exchange ?site mo loc value =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then rp_take d else slow_op d (Exchange { mo; loc; value; site })
 
 let fence mo = ignore (do_op (Fence { mo }))
 
-let na_load ?site loc = do_op (Na_load { loc; site })
+let na_load ?site loc =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then rp_take d else slow_op d (Na_load { loc; site })
 
-let na_store ?site loc value = ignore (do_op (Na_store { loc; value; site }))
+let na_store ?site loc value =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then ignore (rp_take d)
+  else ignore (slow_op d (Na_store { loc; value; site }))
 
 let malloc ?init count = do_op (Alloc { count; init })
 
-let spawn f = do_op (Spawn f)
+let spawn f =
+  let d = Domain.DLS.get dispatch in
+  if d.rp_next < d.rp_limit then begin
+    (* replayed Spawn: consume the child's tid from the feed and
+       re-register its closure — the parent's replay is what rebuilds
+       children after a restore *)
+    let child = rp_take d in
+    d.rp_spawn child f;
+    child
+  end
+  else slow_op d (Spawn f)
 
 let join tid = ignore (do_op (Join tid))
 

@@ -46,13 +46,25 @@ type op =
 
 type _ Effect.t += Do : op -> int Effect.t
 
-(** Per-domain direct-dispatch hook consulted before performing {!Do}:
-    the scheduler installs a function that commits invisible operations
-    (and feeds replayed values) without suspending the fiber, returning
-    [None] for operations that need a scheduling decision — those fall
-    back to the effect. [None] in the ref (the default) means every
-    operation performs. *)
-val dispatch : (op -> int option) option ref Domain.DLS.key
+(** Per-domain dispatcher consulted before performing {!Do}, with two
+    tiers. [hook]: the scheduler's general hook — commits invisible
+    (and, when sound, visible) operations without suspending the fiber,
+    returning [None] for operations that need a scheduling decision,
+    which fall back to the effect. [rp_*]: the restore-replay value
+    feed — while [rp_next < rp_limit] every operation consumes the next
+    logged value directly, building no [op] record and entering no
+    closure; [Spawn] additionally re-registers its child's closure
+    through [rp_spawn]. [rp_limit = 0] and [hook = None] (the defaults)
+    mean every operation performs the effect. *)
+type dispatcher = {
+  mutable hook : (op -> int option) option;
+  mutable rp_vals : int array;
+  mutable rp_next : int;
+  mutable rp_limit : int;
+  mutable rp_spawn : int -> (unit -> unit) -> unit;
+}
+
+val dispatch : dispatcher Domain.DLS.key
 
 (** {1 Atomic operations} *)
 

@@ -43,9 +43,19 @@ type config = {
   max_actions : int;
   sleep_sets : bool;
   rf_kernel : bool;
+  inline_visible : bool;
+  replay_finished : bool;
 }
 
-let default_config = { loop_bound = 8; max_actions = 4000; sleep_sets = true; rf_kernel = true }
+let default_config =
+  {
+    loop_bound = 8;
+    max_actions = 4000;
+    sleep_sets = true;
+    rf_kernel = true;
+    inline_visible = true;
+    replay_finished = true;
+  }
 
 type outcome =
   | Complete
@@ -59,6 +69,8 @@ type run_result = {
   annots : annot list;
   bugs : Bug.t list;
   outcome : outcome;
+  switches : int;
+  inline_ops : int;
 }
 
 exception Prune of outcome
@@ -105,6 +117,23 @@ let counter_cell table key idx =
   end;
   !cells.(idx)
 
+(* Scheduler scalars + arena watermark captured at a decision's step (or,
+   for decisions recorded by hook-inlined operations, just before the
+   inlined operation commits — see [capture_inline]). Defined here, ahead
+   of the session machinery that stores them, because the dispatch hook
+   captures mid-step snapshots itself. *)
+type snapshot = {
+  s_mark : Execution.mark;
+  s_nthreads : int;
+  s_stat : int array;  (* 0 = not started, 1 = paused, 2 = finished *)
+  s_vcount : int array;  (* values consumed per thread *)
+  s_sleep : int;  (* sleep mask at the step's start *)
+  s_bugs : Bug.t list;
+  s_nannots : int;
+  s_last_atomic : int option array;
+  s_opc : int;  (* counter-journal length *)
+}
+
 type state = {
   config : config;
   exec : Execution.t;
@@ -119,11 +148,22 @@ type state = {
   mutable last_atomic : int option array;
   counters : counters;
   mutable values : int Vec.t array;  (* per-thread log of the values ops returned *)
+  mutable parents : int array;  (* spawning thread of each tid (-1 for main) *)
   mutable step_footprints : footprint list;  (* footprints of the current step *)
   mutable replaying : bool;  (* inside [replay_threads]: feed logged values, no commits *)
   mutable cur_tid : int;  (* thread whose fiber the scheduler is currently driving *)
-  mutable consumed : int array;  (* per-thread replay cursor into [values] *)
   mutable hook : Program.op -> int option;  (* direct-dispatch hook, closed over this state *)
+  mutable n_switches : int;  (* fiber suspensions: operations that performed an effect *)
+  mutable n_inline : int;  (* operations committed inside the hook, no effect round-trip *)
+  (* Session plumbing for mid-step snapshots: when the hook inlines a
+     visible operation that records decisions, it captures and files the
+     snapshot itself, so a later backtrack restores to the operation
+     rather than to its (possibly much earlier) enclosing step. *)
+  mutable s_snaps : snapshot Vec.t option;  (* the session's snapshot store *)
+  mutable step_snap : snapshot option;  (* current step's start snapshot *)
+  mutable step_sleep0 : int;  (* sleep mask at the current step's start *)
+  mutable hook_c0 : int;  (* first hook-snapshotted decision index this step *)
+  mutable n_hook_snaps : int;
 }
 
 let get_status st tid = st.threads.(tid)
@@ -145,6 +185,11 @@ let add_thread st status =
     let n = Array.length st.values in
     let values = Array.init (2 * (tid + 1)) (fun i -> if i < n then st.values.(i) else Vec.create ()) in
     st.values <- values
+  end;
+  if tid >= Array.length st.parents then begin
+    let parents = Array.make (2 * (tid + 1)) (-1) in
+    Array.blit st.parents 0 parents 0 st.nthreads;
+    st.parents <- parents
   end;
   st.threads.(tid) <- status;
   st.nthreads <- tid + 1;
@@ -452,6 +497,7 @@ let exec_invisible st tid (op : Program.op) =
   | Alloc { count; init } -> Execution.alloc st.exec ~tid ~count ~init
   | Spawn f ->
     let child = add_thread st (Not_started f) in
+    st.parents.(child) <- tid;
     ignore (Execution.commit_create st.exec ~tid ~child);
     child
   | Annotate annotation ->
@@ -473,36 +519,178 @@ let is_invisible : Program.op -> bool = function
   | Program.Na_load _ | Na_store _ | Alloc _ | Spawn _ | Annotate _ | Check _ -> true
   | Load _ | Store _ | Cas _ | Fetch_add _ | Exchange _ | Fence _ | Join _ -> false
 
+let is_enabled st tid =
+  match get_status st tid with
+  | Not_started _ -> true
+  | Finished -> false
+  | Paused (Program.Join target, _) ->
+    target < st.nthreads && (match get_status st target with Finished -> true | _ -> false)
+  | Paused _ -> true
+
+(* A sleeping thread stays asleep while every footprint of the committed
+   step is independent of its pending operation. Threads without a known
+   pending operation (not yet started) are conservatively woken. *)
+let keep_asleep st footprints tid =
+  match get_status st tid with
+  | Paused (op, _) ->
+    let f = op_footprint op in
+    List.for_all (fun g -> not (dependent g f)) footprints
+  | Not_started _ | Finished -> false
+
+let capture st sleep =
+  {
+    s_mark = Execution.mark st.exec;
+    s_nthreads = st.nthreads;
+    s_stat =
+      Array.init st.nthreads (fun i ->
+          match st.threads.(i) with Not_started _ -> 0 | Paused _ -> 1 | Finished -> 2);
+    s_vcount = Array.init st.nthreads (fun i -> Vec.length st.values.(i));
+    s_sleep = sleep;
+    s_bugs = st.bugs;
+    s_nannots = Vec.length st.annots;
+    s_last_atomic = Array.sub st.last_atomic 0 st.nthreads;
+    s_opc = Vec.length st.counters.cj;
+  }
+
+(* Snapshot for a decision recorded by a hook-inlined visible operation,
+   taken just before the operation commits. Restoring it replays the
+   running thread up to — and pauses it at — this very operation
+   ([s_stat] is patched to "paused"; its value log holds exactly the
+   ops before it), so a backtrack re-commits only the operation itself,
+   not the whole enclosing step. [s_sleep] is the sleep mask the
+   operation's own step would have started with had it not been
+   inlined: the enclosing step's start mask filtered by the footprints
+   committed so far this step — the same iterated filtering the
+   per-step recomputation performs, collapsed into one pass (the
+   intermediate statuses cannot change: sleeping threads are paused and
+   never stepped while asleep). *)
+let capture_inline st tid =
+  let sleep =
+    let m = st.step_sleep0 in
+    if (not st.config.sleep_sets) || m = 0 then 0
+    else begin
+      let out = ref 0 in
+      for u = 0 to st.nthreads - 1 do
+        if m land (1 lsl u) <> 0 && keep_asleep st st.step_footprints u then
+          out := !out lor (1 lsl u)
+      done;
+      !out
+    end
+  in
+  let sn = capture st sleep in
+  sn.s_stat.(tid) <- 1;
+  st.n_hook_snaps <- st.n_hook_snaps + 1;
+  sn
+
+(* File snapshot [sn] under every decision index the just-committed
+   inlined operation recorded ([c0 ..cursor-1]), backfilling any earlier
+   indices of the enclosing step with the step's start snapshot so the
+   store stays dense. [hook_c0] tells the step's own [record_snaps] where
+   to stop so it never overwrites hook-filed snapshots. *)
+let assign_snaps st snaps c0 sn =
+  if st.cursor > c0 then begin
+    if c0 < st.hook_c0 then st.hook_c0 <- c0;
+    (match st.step_snap with
+    | Some stepsn ->
+      while Vec.length snaps < c0 do
+        Vec.push snaps stepsn
+      done
+    | None ->
+      (* capture-skipped step: it recorded no decision of its own, so
+         the store is already dense up to [c0] *)
+      assert (Vec.length snaps >= c0));
+    for i = c0 to st.cursor - 1 do
+      if i < Vec.length snaps then Vec.set snaps i sn else Vec.push snaps sn
+    done
+  end
+
+(* Only loads and CAS can record (reads-from / branch-direction)
+   decisions; other visible ops never need a mid-step snapshot. Being
+   wrong here costs performance, not soundness: an unsnapshotted
+   decision falls back to the enclosing step's snapshot. *)
+let may_decide : Program.op -> bool = function
+  | Program.Load _ | Cas _ -> true
+  | _ -> false
+
+(* First-run direct dispatch of a *visible* operation: sound exactly when
+   the scheduling step it elides could not have gone any other way.
+
+   - No thread other than [tid] is enabled: the would-be scheduling
+     point has one available candidate, which [run_loop] takes without
+     recording a decision ([!nav = 1] short-circuits [choose_sched]), so
+     skipping the loop iteration drops no decision and no prune-key
+     check (those fire only at non-trivial fresh points).
+   - The running thread itself cannot be asleep here: a thread is put to
+     sleep only as an unchosen sibling, and a sleeping thread is never
+     stepped, so the fiber being live implies [tid] is awake.
+   - [op] itself is enabled — a [Join] commits only once its target has
+     finished; inlining a blocked [Join] would skip deadlock detection.
+
+   Value-level choices the commit makes (reads-from, CAS direction) are
+   NOT elided: [exec_visible] records them in the trace as usual, and the
+   enclosing step's snapshot covers them ([record_snaps] walks every
+   decision index the step produced). Statuses are restored on session
+   rewind, so the gate is deterministic across restore-replays: a prefix
+   that inlined an op on the fresh run inlines it again after restore. *)
+let can_inline_visible st tid (op : Program.op) =
+  (match op with
+  | Program.Join target ->
+    target < st.nthreads && (match get_status st target with Finished -> true | _ -> false)
+  | _ -> true)
+  &&
+  let rec no_other u =
+    u >= st.nthreads || ((u = tid || not (is_enabled st u)) && no_other (u + 1))
+  in
+  no_other 0
+
 (* The [Program.dispatch] hook: handle an operation inside the running
    fiber, without suspending it, whenever the result does not need a
    scheduling decision. Live runs commit invisible operations directly
-   (logging their values as [drain] would); replay feeds each thread the
-   logged values of *all* its operations, so a whole program prefix
-   re-runs without a single effect. [None] — a visible operation live,
-   or an exhausted value log under replay — performs the effect and
-   pauses the fiber at its pending operation as before. *)
+   (logging their values as [drain] would) and visible operations too
+   when no other thread is enabled (see [can_inline_visible]); replay
+   feeds each thread the logged values of *all* its operations, so a
+   whole program prefix re-runs without a single effect. [None] — a
+   visible operation live at a real scheduling point, or an exhausted
+   value log under replay — performs the effect and pauses the fiber at
+   its pending operation as before. *)
 let make_hook st (op : Program.op) =
   let tid = st.cur_tid in
-  if st.replaying then begin
-    let vs = st.values.(tid) in
-    let c = st.consumed.(tid) in
-    if c < Vec.length vs then begin
-      let v = Vec.get vs c in
-      st.consumed.(tid) <- c + 1;
-      (* A replayed Spawn re-registers its child's closure: every fiber
-         is rebuilt after a restore, so the registration is never
-         clobbering a live continuation. *)
-      (match op with
-      | Program.Spawn f -> st.threads.(v) <- Not_started f
-      | _ -> ());
-      Some v
-    end
-    else None
-  end
+  if st.replaying then
+    (* The replay value feed lives in the dispatcher itself
+       ([Program.dispatch]'s [rp_*] tier) and never reaches this hook;
+       control only lands here when a replayed thread's feed has drained
+       — at the operation it was paused at when the snapshot was taken —
+       and [None] performs the effect, parking the fiber there. *)
+    None
   else if is_invisible op then begin
     let v = exec_invisible st tid op in
     Vec.push st.values.(tid) v;
+    st.n_inline <- st.n_inline + 1;
     Some v
+  end
+  else if st.config.inline_visible && can_inline_visible st tid op then begin
+    match st.s_snaps with
+    | Some snaps when may_decide op ->
+      (* Session mode: decisions this op records need a restore point at
+         the op itself, captured before it commits. *)
+      let c0 = st.cursor in
+      let sn = capture_inline st tid in
+      let v =
+        match exec_visible st tid op with
+        | v -> v
+        | exception e ->
+          assign_snaps st snaps c0 sn;
+          raise e
+      in
+      assign_snaps st snaps c0 sn;
+      Vec.push st.values.(tid) v;
+      st.n_inline <- st.n_inline + 1;
+      Some v
+    | _ ->
+      let v = exec_visible st tid op in
+      Vec.push st.values.(tid) v;
+      st.n_inline <- st.n_inline + 1;
+      Some v
   end
   else None
 
@@ -526,7 +714,10 @@ let handler st tid =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
         | Program.Do op ->
-          Some (fun (k : (a, unit) Effect.Deep.continuation) -> set_status st tid (Paused (op, k)))
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              st.n_switches <- st.n_switches + 1;
+              set_status st tid (Paused (op, k)))
         | _ -> None);
   }
 
@@ -562,24 +753,6 @@ let step st tid =
   | Finished -> invalid_arg "step: finished thread");
   st.step_footprints
 
-let is_enabled st tid =
-  match get_status st tid with
-  | Not_started _ -> true
-  | Finished -> false
-  | Paused (Program.Join target, _) ->
-    target < st.nthreads && (match get_status st target with Finished -> true | _ -> false)
-  | Paused _ -> true
-
-(* A sleeping thread stays asleep while every footprint of the committed
-   step is independent of its pending operation. Threads without a known
-   pending operation (not yet started) are conservatively woken. *)
-let keep_asleep st footprints tid =
-  match get_status st tid with
-  | Paused (op, _) ->
-    let f = op_footprint op in
-    List.for_all (fun g -> not (dependent g f)) footprints
-  | Not_started _ | Finished -> false
-
 let mk_state ?pick ?prune ~config ~trace main =
   let st =
     {
@@ -596,11 +769,18 @@ let mk_state ?pick ?prune ~config ~trace main =
       last_atomic = Array.make 4 None;
       counters = counters_create ();
       values = Array.init 4 (fun _ -> Vec.create ());
+      parents = Array.make 4 (-1);
       step_footprints = [];
       replaying = false;
       cur_tid = 0;
-      consumed = [||];
       hook = (fun _ -> None);
+      n_switches = 0;
+      n_inline = 0;
+      s_snaps = None;
+      step_snap = None;
+      step_sleep0 = 0;
+      hook_c0 = max_int;
+      n_hook_snaps = 0;
     }
   in
   st.hook <- make_hook st;
@@ -621,18 +801,6 @@ let mk_state ?pick ?prune ~config ~trace main =
    cheap replay mode that feeds each thread the values its operations
    returned (logged during commit), skipping all graph work. *)
 
-type snapshot = {
-  s_mark : Execution.mark;
-  s_nthreads : int;
-  s_stat : int array;  (* 0 = not started, 1 = paused, 2 = finished *)
-  s_vcount : int array;  (* values consumed per thread *)
-  s_sleep : int;  (* sleep mask at the step's start *)
-  s_bugs : Bug.t list;
-  s_nannots : int;
-  s_last_atomic : int option array;
-  s_opc : int;  (* counter-journal length *)
-}
-
 type session = {
   st : state;
   main : unit -> unit;
@@ -641,21 +809,6 @@ type session = {
   mutable n_snapshots : int;
   mutable n_restores : int;
 }
-
-let capture st sleep =
-  {
-    s_mark = Execution.mark st.exec;
-    s_nthreads = st.nthreads;
-    s_stat =
-      Array.init st.nthreads (fun i ->
-          match st.threads.(i) with Not_started _ -> 0 | Paused _ -> 1 | Finished -> 2);
-    s_vcount = Array.init st.nthreads (fun i -> Vec.length st.values.(i));
-    s_sleep = sleep;
-    s_bugs = st.bugs;
-    s_nannots = Vec.length st.annots;
-    s_last_atomic = Array.sub st.last_atomic 0 st.nthreads;
-    s_opc = Vec.length st.counters.cj;
-  }
 
 (* Rebuild the thread fibers a restored snapshot needs, feeding each
    re-run closure the logged values (truncated to the snapshot's
@@ -682,30 +835,41 @@ let capture st sleep =
    turn. *)
 let replay_threads st main (snap : snapshot) =
   let n = snap.s_nthreads in
-  (* need_run: the closure re-executes (replayed to its snapshot
-     position, or to completion for finished threads, re-emitting
-     Spawns as it goes). Not-started threads are merely re-registered
-     by their parent. *)
+  (* need_run: the closure re-executes, replayed up to its snapshot
+     position — always for paused threads (they resume live later) and,
+     under [replay_finished] (the default — see the config doc), for
+     finished threads too, so closure side effects the main closure's
+     replay reset are re-applied. With the flag off a finished thread
+     re-runs only when a descendant still needs its closure
+     re-registered by the finished thread's replayed [Spawn]s; one with
+     no such descendant is simply left [Finished] and its whole value
+     log is skipped. Not-started threads are merely re-registered by
+     their parent. [st.parents] needs no snapshotting: tids below
+     [s_nthreads] were spawned in the prefix shared by every run under
+     this snapshot, so their entries are never rewritten. *)
   let need_run = Array.make n false in
   for tid = 0 to n - 1 do
-    need_run.(tid) <- snap.s_stat.(tid) <> 0
+    need_run.(tid) <-
+      (match snap.s_stat.(tid) with 1 -> true | 2 -> st.config.replay_finished | _ -> false)
+  done;
+  for tid = n - 1 downto 1 do
+    if need_run.(tid) || snap.s_stat.(tid) = 0 then need_run.(st.parents.(tid)) <- true
   done;
   (* every fiber is stale (threads spawned after the snapshot are
      simply gone); parents re-register their children *)
   for tid = 0 to Array.length st.threads - 1 do
     st.threads.(tid) <- Finished
   done;
-  st.threads.(0) <- Not_started main;
-  st.consumed <- Array.make n 0;
-  (* Value feeding happens in the dispatch hook (no effect per replayed
-     operation); a perform only reaches this handler when the thread's
-     log is exhausted — i.e. at the visible operation it was paused at
-     when the snapshot was taken. The handler stays installed on the
-     rebuilt fiber for the rest of its life, so retc/exnc must carry
-     both behaviours: while [st.replaying] they commit nothing (the
-     restored graph already holds those actions); afterwards — when the
-     scheduler resumes the fiber live — they are byte-for-byte the
-     normal [handler]. *)
+  if need_run.(0) then st.threads.(0) <- Not_started main;
+  (* Value feeding happens in the dispatcher's replay feed (no effect —
+     and no [op] record — per replayed operation); a perform only
+     reaches this handler when the thread's log is exhausted, i.e. at
+     the visible operation it was paused at when the snapshot was
+     taken. The handler stays installed on the rebuilt fiber for the
+     rest of its life, so retc/exnc must carry both behaviours: while
+     [st.replaying] they commit nothing (the restored graph already
+     holds those actions); afterwards — when the scheduler resumes the
+     fiber live — they are byte-for-byte the normal [handler]. *)
   let replay_handler tid =
     {
       Effect.Deep.retc =
@@ -731,24 +895,37 @@ let replay_threads st main (snap : snapshot) =
           match eff with
           | Program.Do op ->
             Some
-              (fun (k : (a, unit) Effect.Deep.continuation) -> set_status st tid (Paused (op, k)))
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                st.n_switches <- st.n_switches + 1;
+                set_status st tid (Paused (op, k)))
           | _ -> None);
     }
   in
-  let disp = Domain.DLS.get Program.dispatch in
-  let saved = !disp in
-  disp := Some st.hook;
+  let d = Domain.DLS.get Program.dispatch in
+  let saved = d.Program.hook in
+  d.Program.hook <- Some st.hook;
+  (* Replayed [Spawn]s re-register only children whose closure is still
+     needed; a skipped finished child must stay [Finished], not be
+     resurrected as runnable. *)
+  d.Program.rp_spawn <-
+    (fun child f ->
+      if need_run.(child) || snap.s_stat.(child) = 0 then st.threads.(child) <- Not_started f);
   st.replaying <- true;
   Fun.protect
     ~finally:(fun () ->
       st.replaying <- false;
-      disp := saved)
+      d.Program.rp_limit <- 0;
+      d.Program.hook <- saved)
     (fun () ->
       for tid = 0 to n - 1 do
         if need_run.(tid) then begin
           match st.threads.(tid) with
           | Not_started f ->
             st.cur_tid <- tid;
+            let vs = st.values.(tid) in
+            d.Program.rp_vals <- Vec.unsafe_data vs;
+            d.Program.rp_next <- 0;
+            d.Program.rp_limit <- Vec.length vs;
             Effect.Deep.match_with f () (replay_handler tid)
           | _ -> assert false
         end
@@ -779,13 +956,17 @@ let restore_to s (snap : snapshot) =
    records or consumes — including when the step aborts with [Prune], so
    a later backtrack to one of its decisions can still restore. *)
 let run_loop ?session st sleep0 =
-  let disp = Domain.DLS.get Program.dispatch in
-  let saved = !disp in
-  disp := Some st.hook;
+  let d = Domain.DLS.get Program.dispatch in
+  let saved = d.Program.hook in
+  d.Program.hook <- Some st.hook;
+  (* Decision indices at or past [hook_c0] were already filed (with
+     their own mid-step snapshots) by the dispatch hook — never
+     overwrite those. *)
   let record_snaps c0 snap =
     match session, snap with
     | Some s, Some sn ->
-      for i = c0 to st.cursor - 1 do
+      let stop = if st.hook_c0 < st.cursor then st.hook_c0 else st.cursor in
+      for i = c0 to stop - 1 do
         if i < Vec.length s.snaps then Vec.set s.snaps i sn
         else begin
           assert (i = Vec.length s.snaps);
@@ -824,10 +1005,30 @@ let run_loop ?session st sleep0 =
       let snap =
         match session with
         | Some s ->
-          s.n_snapshots <- s.n_snapshots + 1;
-          Some (capture st sleep)
+          (* A single-candidate step whose operation makes no value
+             choice ([may_decide]) records no decision, so its snapshot
+             could never be restored to — skip the capture. Operations
+             the step's drain inlines afterwards capture their own
+             mid-step snapshots and file every index they record, so no
+             decision is left pointing at a skipped snapshot. *)
+          let skip =
+            !nav = 1
+            &&
+            match get_status st !first_av with
+            | Paused (op, _) -> not (may_decide op)
+            | Not_started _ -> true
+            | Finished -> false
+          in
+          if skip then None
+          else begin
+            s.n_snapshots <- s.n_snapshots + 1;
+            Some (capture st sleep)
+          end
         | None -> None
       in
+      st.step_snap <- snap;
+      st.step_sleep0 <- sleep;
+      st.hook_c0 <- max_int;
       let slept_mask, footprints =
         try
           let tid, slept =
@@ -856,25 +1057,28 @@ let run_loop ?session st sleep0 =
     end
   in
   Fun.protect
-    ~finally:(fun () -> disp := saved)
+    ~finally:(fun () -> d.Program.hook <- saved)
     (fun () -> try loop sleep0 with Prune reason -> reason)
 
 let mk_result st outcome =
-  { exec = st.exec; annots = Vec.to_list st.annots; bugs = List.rev st.bugs; outcome }
+  {
+    exec = st.exec;
+    annots = Vec.to_list st.annots;
+    bugs = List.rev st.bugs;
+    outcome;
+    switches = st.n_switches;
+    inline_ops = st.n_inline;
+  }
 
 let run ?pick ?prune ~config ~trace main =
   let st = mk_state ?pick ?prune ~config ~trace main in
   mk_result st (run_loop st 0)
 
 let session_create ?prune ~config ~trace main =
-  {
-    st = mk_state ?prune ~config ~trace main;
-    main;
-    started = false;
-    snaps = Vec.create ();
-    n_snapshots = 0;
-    n_restores = 0;
-  }
+  let st = mk_state ?prune ~config ~trace main in
+  let snaps = Vec.create () in
+  st.s_snaps <- Some snaps;
+  { st; main; started = false; snaps; n_snapshots = 0; n_restores = 0 }
 
 let session_run s =
   let st = s.st in

@@ -65,6 +65,27 @@ type config = {
           {!C11.Rf_kernel} fast path (see {!C11.Execution.create}).
           Graph sets, bug lists and verdicts are identical either way;
           off exists as the escape hatch / differential baseline. *)
+  inline_visible : bool;
+      (** Commit a visible operation inside the running fiber — no
+          effect round-trip — when no other thread is enabled, i.e. when
+          the scheduling point it elides is trivial (one candidate, no
+          decision recorded, no prune-key check). Value-level choices the
+          commit makes (reads-from, CAS direction) are still recorded in
+          the trace, so explored graph sets, decision traces, bug lists
+          and prune behaviour are identical either way; off exists as
+          the escape hatch / differential baseline. *)
+  replay_finished : bool;
+      (** Re-run the closures of threads that had already finished at
+          the restore point of a session restore (the default). The
+          engine itself never needs this — graphs, traces, annotations
+          and bugs are all restored engine-side — but user closures may
+          publish observations through shared mutable state that the
+          main closure's replay resets, and only a full re-run
+          reconstructs them (the SC-oracle observation pattern). Turn
+          it off — skipping each such thread's whole replay — only when
+          every consumer of the run (feasible callbacks, verdicts)
+          reads engine state alone, as annotation-based
+          specification checking does. *)
 }
 
 val default_config : config
@@ -84,6 +105,15 @@ type run_result = {
   annots : annot list;  (** in recording order *)
   bugs : Bug.t list;  (** built-in detections, in commit order *)
   outcome : outcome;
+  switches : int;
+      (** Fiber suspensions performed: operations that went through an
+          effect round-trip rather than the direct-dispatch hook. Counts
+          since the state was created — per run under {!run}, cumulative
+          across a session. *)
+  inline_ops : int;
+      (** Operations committed inside the dispatch hook without
+          suspending the fiber (invisible ops on live runs, plus visible
+          ops under [inline_visible]). Same accumulation as [switches]. *)
 }
 
 (** [run ~config ~trace main] executes [main] as thread 0.

@@ -1,0 +1,250 @@
+module P = Mc.Program
+module A = Cdsspec.Annotations
+module Spec = Cdsspec.Spec
+module Il = Cdsspec.Seq_state.Int_list
+open C11.Memory_order
+
+(* Bounded lock-free MPMC queue in the style of Saturn's Bounded_queue:
+   a Michael–Scott linked list whose nodes carry a monotonic position
+   counter. The queue's length is the position distance between the
+   tail and head nodes, so push can refuse ("full") without any shared
+   size counter — the check reads only the two list anchors.
+
+   Node layout: [next; data; pos]; 0 is NULL. [pos] is written once,
+   before the node is published by the linking CAS, and read only
+   through pointers obtained from acquire loads — so plain non-atomic
+   accesses suffice, like [data]. The dummy node has position 0 and
+   each linked node the predecessor's position plus one. *)
+let f_next node = node
+let f_data node = node + 1
+let f_pos node = node + 2
+
+type t = { head : P.loc; tail : P.loc; capacity : int }
+
+let sites =
+  [
+    Ords.site "push_load_tail" For_load Acquire;
+    Ords.site "push_load_next" For_load Acquire;
+    Ords.site "push_load_head" For_load Acquire;
+    Ords.site "push_cas_next" For_rmw Release;
+    Ords.site "push_cas_tail_help" For_rmw Release;
+    Ords.site "push_cas_tail" For_rmw Release;
+    Ords.site "pop_load_head" For_load Acquire;
+    Ords.site "pop_load_tail" For_load Acquire;
+    Ords.site "pop_load_next" For_load Acquire;
+    Ords.site "pop_check_head" For_load Relaxed;
+    Ords.site "pop_cas_tail_help" For_rmw Release;
+    Ords.site "pop_cas_head" For_rmw Release;
+  ]
+
+(* Same AutoMO-style weakenings as the unbounded M&S queue: the
+   linking CAS published relaxed, and the pop next-pointer load missing
+   its acquire. *)
+let known_bugs =
+  [
+    ("push_cas_next", Ords.with_order sites "push_cas_next" Relaxed);
+    ("pop_load_next", Ords.with_order sites "pop_load_next" Relaxed);
+  ]
+
+let new_node value =
+  let n = P.malloc 3 in
+  P.store Relaxed (f_next n) 0;
+  P.na_store (f_data n) value;
+  P.na_store (f_pos n) 0;
+  n
+
+let create capacity =
+  let dummy = new_node 0 in
+  let head = P.malloc 1 in
+  let tail = P.malloc 1 in
+  P.store Relaxed head dummy;
+  P.store Relaxed tail dummy;
+  { head; tail; capacity }
+
+let o = Ords.get
+
+let push ords q value =
+  A.api_call ~obj:q.head ~name:"push" ~args:[ value; q.capacity ] (fun () ->
+      let node = new_node value in
+      let rec loop () =
+        let t = P.load ~site:"push_load_tail" (o ords "push_load_tail") q.tail in
+        let next = P.load ~site:"push_load_next" (o ords "push_load_next") (f_next t) in
+        if next <> 0 then begin
+          (* help lagging tail along *)
+          ignore
+            (P.cas ~site:"push_cas_tail_help" (o ords "push_cas_tail_help") q.tail ~expected:t
+               ~desired:next);
+          loop ()
+        end
+        else begin
+          let h = P.load ~site:"push_load_head" (o ords "push_load_head") q.head in
+          if P.na_load (f_pos t) - P.na_load (f_pos h) >= q.capacity then begin
+            A.op_clear_define ();
+            Some 0 (* full *)
+          end
+          else begin
+            P.na_store (f_pos node) (P.na_load (f_pos t) + 1);
+            if
+              P.cas ~site:"push_cas_next" (o ords "push_cas_next") (f_next t) ~expected:0
+                ~desired:node
+            then begin
+              A.op_define ();
+              ignore
+                (P.cas ~site:"push_cas_tail" (o ords "push_cas_tail") q.tail ~expected:t
+                   ~desired:node);
+              Some 1
+            end
+            else loop ()
+          end
+        end
+      in
+      loop ())
+  = Some 1
+
+let pop ords q =
+  match
+    A.api_call ~obj:q.head ~name:"pop" ~args:[] (fun () ->
+        let rec loop () =
+          let h = P.load ~site:"pop_load_head" (o ords "pop_load_head") q.head in
+          let t = P.load ~site:"pop_load_tail" (o ords "pop_load_tail") q.tail in
+          let next = P.load ~site:"pop_load_next" (o ords "pop_load_next") (f_next h) in
+          A.op_clear_define ();
+          if h = P.load ~site:"pop_check_head" (o ords "pop_check_head") q.head then begin
+            if h = t then begin
+              if next = 0 then Some (-1)
+              else begin
+                (* tail is lagging: help and retry *)
+                ignore
+                  (P.cas ~site:"pop_cas_tail_help" (o ords "pop_cas_tail_help") q.tail
+                     ~expected:t ~desired:next);
+                loop ()
+              end
+            end
+            else begin
+              let value = P.na_load (f_data next) in
+              if
+                P.cas ~site:"pop_cas_head" (o ords "pop_cas_head") q.head ~expected:h
+                  ~desired:next
+              then Some value
+              else loop ()
+            end
+          end
+          else loop ()
+        in
+        loop ())
+  with
+  | Some v -> v
+  | None -> -1
+
+(* Push is the Lamport-ring try-enqueue (a spurious "full" is justified
+   by a prefix already holding >= capacity items — the capacity travels
+   as the call's second argument); pop is the M&S dequeue. Being MPMC,
+   the only admissibility rule is that a successful pop is ordered with
+   the push it took its value from. *)
+let spec =
+  let push_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            if c_ret = 1 then (Il.push_back (Cdsspec.Call.arg info.call 0) st, Some 1)
+            else (st, Some 0));
+      (* full may be reported spuriously: a pop's progress was not yet
+         visible to the position check *)
+      postcondition = Some (fun _st _info ~s_ret:_ -> true);
+      justifying_postcondition =
+        Some
+          (fun st (info : Spec.info) ~s_ret:_ ->
+            let c_ret = Cdsspec.Call.ret_or 0 info.call in
+            c_ret = 1 || Il.length st >= Cdsspec.Call.arg info.call 1);
+    }
+  in
+  let pop_spec =
+    {
+      Spec.default_method with
+      side_effect =
+        Some
+          (fun st (info : Spec.info) ->
+            let s_ret = match Il.front st with None -> -1 | Some v -> v in
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            let st = if s_ret <> -1 && c_ret <> -1 then Il.pop_front st else st in
+            (st, Some s_ret));
+      postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            c_ret = -1 || Some c_ret = s_ret);
+      justifying_postcondition =
+        Some
+          (fun _st (info : Spec.info) ~s_ret ->
+            let c_ret = Cdsspec.Call.ret_or (-1) info.call in
+            if c_ret = -1 then s_ret = Some (-1) else true);
+    }
+  in
+  let pop_of_push =
+    {
+      Spec.first = "pop";
+      second = "push";
+      requires_order =
+        (fun d e ->
+          Cdsspec.Call.ret_or (-1) d <> -1
+          && Cdsspec.Call.ret_or (-1) d = Cdsspec.Call.arg e 0);
+    }
+  in
+  Spec.Packed
+    {
+      name = "bounded-queue";
+      initial = (fun () -> Il.empty);
+      methods = [ ("push", push_spec); ("pop", pop_spec) ];
+      admissibility = [ pop_of_push ];
+      accounting =
+        { spec_lines = 14; ordering_point_lines = 3; admissibility_lines = 1; api_methods = 2 };
+    }
+
+let test_1push_1pop ords () =
+  let q = create 1 in
+  let t1 = P.spawn (fun () -> ignore (push ords q 1)) in
+  let t2 = P.spawn (fun () -> ignore (pop ords q)) in
+  P.join t1;
+  P.join t2
+
+(* Capacity 1: the producer's second push races the consumer's pop, so
+   it may observe full, succeed after the pop, or see a stale head. *)
+let test_full_handoff ords () =
+  let q = create 1 in
+  let t1 =
+    P.spawn (fun () ->
+        ignore (push ords q 1);
+        ignore (push ords q 2))
+  in
+  let t2 = P.spawn (fun () -> ignore (pop ords q)) in
+  P.join t1;
+  P.join t2
+
+let test_racing_pushes ords () =
+  let q = create 2 in
+  let t1 = P.spawn (fun () -> ignore (push ords q 1)) in
+  let t2 = P.spawn (fun () -> ignore (push ords q 2)) in
+  P.join t1;
+  P.join t2;
+  ignore (pop ords q)
+
+let test_racing_pops ords () =
+  let q = create 2 in
+  ignore (push ords q 1);
+  ignore (push ords q 2);
+  let t1 = P.spawn (fun () -> ignore (pop ords q)) in
+  let t2 = P.spawn (fun () -> ignore (pop ords q)) in
+  P.join t1;
+  P.join t2
+
+let benchmark =
+  Benchmark.make ~name:"Bounded Queue" ~spec ~sites
+    [
+      ("1push-1pop", test_1push_1pop);
+      ("full-handoff", test_full_handoff);
+      ("racing-pushes", test_racing_pushes);
+      ("racing-pops", test_racing_pops);
+    ]

@@ -1,0 +1,29 @@
+(** Bounded lock-free MPMC queue in the style of Saturn's
+    [Bounded_queue]: a Michael–Scott linked list whose nodes carry a
+    monotonic position counter, so the capacity check is the position
+    distance between the tail and head nodes — no shared size counter.
+    Push has try-semantics ("full" may be reported spuriously when a
+    concurrent pop's progress is not yet visible; the spec justifies it
+    against a prefix already holding [capacity] items, like the Lamport
+    ring); pop is the plain M&S dequeue. *)
+
+type t
+
+(** [create capacity] — an empty queue refusing pushes beyond
+    [capacity] pending items. *)
+val create : int -> t
+
+(** [push] returns false when the queue is full. *)
+val push : Ords.t -> t -> int -> bool
+
+(** The popped value, or -1 when the queue appears empty. *)
+val pop : Ords.t -> t -> int
+
+val sites : Ords.site list
+
+(** Each seeded bug individually (site name and the weakened table):
+    the same AutoMO-style weakenings as the unbounded M&S queue. *)
+val known_bugs : (string * Ords.t) list
+
+val spec : Cdsspec.Spec.packed
+val benchmark : Benchmark.t

@@ -127,4 +127,43 @@ let spsc_queue =
   Benchmark.make ~name:"SPSC Queue (oversized)" ~spec:Spsc_queue.spec ~sites:Spsc_queue.sites
     [ ("8enq-8deq", spsc_test) ]
 
-let all () = [ ms_queue; treiber_stack; lockfree_set; spsc_queue ]
+(* Oversized bounded queue: capacity 2 against 2 producers × 3 pushes
+   racing 2 consumers × 3 pops — the tight bound keeps the full path
+   hot, which the exhaustive unit tests only graze. *)
+let bounded_test ords () =
+  let q = Bounded_queue.create 2 in
+  let p1 =
+    P.spawn (fun () ->
+        ignore (Bounded_queue.push ords q 11);
+        ignore (Bounded_queue.push ords q 12);
+        ignore (Bounded_queue.push ords q 13))
+  in
+  let p2 =
+    P.spawn (fun () ->
+        ignore (Bounded_queue.push ords q 21);
+        ignore (Bounded_queue.push ords q 22);
+        ignore (Bounded_queue.push ords q 23))
+  in
+  let c1 =
+    P.spawn (fun () ->
+        ignore (Bounded_queue.pop ords q);
+        ignore (Bounded_queue.pop ords q);
+        ignore (Bounded_queue.pop ords q))
+  in
+  let c2 =
+    P.spawn (fun () ->
+        ignore (Bounded_queue.pop ords q);
+        ignore (Bounded_queue.pop ords q);
+        ignore (Bounded_queue.pop ords q))
+  in
+  P.join p1;
+  P.join p2;
+  P.join c1;
+  P.join c2
+
+let bounded_queue =
+  Benchmark.make ~name:"Bounded Queue (oversized)" ~spec:Bounded_queue.spec
+    ~sites:Bounded_queue.sites
+    [ ("2x3push-2x3pop", bounded_test) ]
+
+let all () = [ ms_queue; treiber_stack; lockfree_set; spsc_queue; bounded_queue ]

@@ -15,5 +15,7 @@ val lockfree_set : Benchmark.t
 
 val spsc_queue : Benchmark.t
 
+val bounded_queue : Benchmark.t
+
 (** All oversized workloads, registry order. *)
 val all : unit -> Benchmark.t list

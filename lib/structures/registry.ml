@@ -24,11 +24,13 @@ let all =
     Lamport_ring.benchmark;
     Clh_lock.benchmark;
     Lazy_init.benchmark;
+    Bounded_queue.benchmark;
     (* fuzz-only oversized workloads: beyond exhaustive reach *)
     Oversized.ms_queue;
     Oversized.treiber_stack;
     Oversized.lockfree_set;
     Oversized.spsc_queue;
+    Oversized.bounded_queue;
   ]
 
 let find name = List.find_opt (fun (b : Benchmark.t) -> b.name = name) all

@@ -90,6 +90,99 @@ let test_parallel_differential () =
         a.first_buggy_trace)
     [ "Lazy Init"; "Seqlock"; "Treiber Stack" ]
 
+(* Commit-path mode identity: the first-run direct-dispatch hook
+   ([inline_visible]) and the finished-thread replay skip
+   ([replay_finished = false], sound here because registry programs
+   publish observations only through the execution graph) are pure
+   optimizations — every combination must produce the same stats, graph
+   sets, bug lists and first traces as the plain fiber path. *)
+let run_modes ~inline ~replay_finished ~prune ~jobs ~cap (b : B.t) (t : B.test) =
+  let scheduler = { b.scheduler with S.inline_visible = inline; replay_finished } in
+  E.(
+    Mc.Parallel.explore ~jobs
+      ~config:{ default_config with scheduler; engine = `Arena; prune; max_executions = cap }
+      (t.program (Structures.Ords.default b.sites)))
+
+let mode_combos =
+  [ (false, true); (true, true); (false, false); (true, false) ]
+
+let test_commit_mode_identity () =
+  List.iter
+    (fun name ->
+      let b = find name in
+      let t = List.hd b.tests in
+      List.iter
+        (fun prune ->
+          let base =
+            run_modes ~inline:false ~replay_finished:true ~prune ~jobs:1 ~cap:(Some 10_000) b t
+          in
+          List.iter
+            (fun (inline, rf) ->
+              let m = run_modes ~inline ~replay_finished:rf ~prune ~jobs:1 ~cap:(Some 10_000) b t in
+              let n =
+                Printf.sprintf "%s/%s inline=%b replay_finished=%b prune=%b" name t.test_name
+                  inline rf prune
+              in
+              check_identical n m base)
+            mode_combos)
+        [ true; false ])
+    [ "MCS Lock"; "Chase-Lev Deque"; "Seqlock"; "Bounded Queue" ]
+
+(* The same four mode combinations under -j2 work stealing: donation
+   timing varies the counters, so compare the order-independent
+   outputs. *)
+let test_commit_mode_identity_parallel () =
+  let b = find "MCS Lock" in
+  let t = List.hd b.tests in
+  let base = run_modes ~inline:false ~replay_finished:true ~prune:true ~jobs:2 ~cap:None b t in
+  List.iter
+    (fun (inline, rf) ->
+      let m = run_modes ~inline ~replay_finished:rf ~prune:true ~jobs:2 ~cap:None b t in
+      let n = Printf.sprintf "-j2 inline=%b replay_finished=%b" inline rf in
+      Alcotest.(check bool) (n ^ ": graph set") true (m.graphs = base.graphs);
+      Alcotest.(check (list string))
+        (n ^ ": bug keys")
+        (List.map Mc.Bug.key base.bugs)
+        (List.map Mc.Bug.key m.bugs);
+      Alcotest.(check (option string)) (n ^ ": first trace") base.first_buggy_trace
+        m.first_buggy_trace)
+    mode_combos
+
+(* Seeded fuzz campaigns ride the identical decision stream whatever the
+   dispatch mode: inline commits never consume a pick, so bugs, coverage
+   and minimized reproducers must be bit-identical across modes. *)
+let test_commit_mode_identity_fuzz () =
+  let b = find "Seqlock" in
+  let t = List.hd b.tests in
+  let campaign ~inline ~replay_finished =
+    Fuzz.Engine.run
+      ~config:
+        {
+          Fuzz.Engine.default_config with
+          scheduler =
+            { b.scheduler with S.sleep_sets = false; inline_visible = inline; replay_finished };
+          max_executions = Some 2_000;
+        }
+      ~seed:42
+      (t.program (Structures.Ords.default b.sites))
+  in
+  let base = campaign ~inline:false ~replay_finished:true in
+  List.iter
+    (fun (inline, rf) ->
+      let r = campaign ~inline ~replay_finished:rf in
+      let n = Printf.sprintf "fuzz inline=%b replay_finished=%b" inline rf in
+      Alcotest.(check int) (n ^ ": feasible") base.stats.feasible r.stats.feasible;
+      Alcotest.(check int) (n ^ ": coverage") base.stats.coverage r.stats.coverage;
+      Alcotest.(check (list string))
+        (n ^ ": found bugs")
+        (List.map (fun (f : Fuzz.Engine.found) -> Mc.Bug.key f.bug) base.found)
+        (List.map (fun (f : Fuzz.Engine.found) -> Mc.Bug.key f.bug) r.found);
+      Alcotest.(check (list string))
+        (n ^ ": reproducer traces")
+        (List.map (fun (f : Fuzz.Engine.found) -> Fuzz.Engine.trace_to_string f.minimized) base.found)
+        (List.map (fun (f : Fuzz.Engine.found) -> Fuzz.Engine.trace_to_string f.minimized) r.found))
+    mode_combos
+
 (* Same seed, same campaign: the fuzzer rides the same commit path as
    the engines (direct-dispatch hook included), so a seeded campaign
    must be reproducible down to the minimized reproducer traces. *)
@@ -260,6 +353,12 @@ let () =
           Alcotest.test_case "exhaustive registry, serial" `Quick test_serial_differential;
           Alcotest.test_case "work stealing -j2" `Quick test_parallel_differential;
           Alcotest.test_case "seeded fuzz campaign" `Quick test_fuzz_deterministic;
+        ] );
+      ( "commit-modes",
+        [
+          Alcotest.test_case "serial" `Quick test_commit_mode_identity;
+          Alcotest.test_case "work stealing -j2" `Quick test_commit_mode_identity_parallel;
+          Alcotest.test_case "seeded fuzz" `Quick test_commit_mode_identity_fuzz;
         ] );
       ( "snapshots",
         [

@@ -82,6 +82,61 @@ let prop_set_covers =
     (QCheck.triple clock_arb QCheck.(int_bound 4) QCheck.(int_bound 10)) (fun (c, tid, seq) ->
       Clock.covers (Clock.set c tid seq) ~tid ~seq)
 
+(* Packed-vs-array differential: a clock is a plain max-array; the
+   packed immediate representation must be observationally identical to
+   that model. The generator deliberately straddles both packing
+   boundaries — tid 3/4 and seq 32767/32768 — so every scenario mixes
+   packed clocks, spilled clocks, and clocks that cross over mid-way. *)
+let model_dim = 8
+
+let boundary_gen =
+  QCheck.Gen.(
+    let tid = oneof [ int_bound 3; int_range 4 (model_dim - 1) ] in
+    let seq = oneof [ int_bound 9; int_range 32760 32775 ] in
+    list_size (int_bound 8) (pair tid seq))
+
+let boundary_arb =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat "; " (List.map (fun (t, s) -> Printf.sprintf "%d:=%d" t s) l))
+    boundary_gen
+
+let model_of l =
+  let m = Array.make model_dim 0 in
+  List.iter (fun (tid, seq) -> if seq > m.(tid) then m.(tid) <- seq) l;
+  m
+
+let model_leq a b = Array.for_all2 (fun x y -> x <= y) a b
+
+let for_alli f a =
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (f i x) then ok := false) a;
+  !ok
+
+let packable m =
+  Array.for_all (fun s -> s <= 32767) m && for_alli (fun i s -> i <= 3 || s = 0) m
+
+let prop_packed_differential =
+  QCheck.Test.make ~name:"packed/array differential" ~count:1000
+    (QCheck.pair boundary_arb boundary_arb) (fun (la, lb) ->
+      let a = clock_of la and b = clock_of lb in
+      let ma = model_of la and mb = model_of lb in
+      let mj = Array.map2 max ma mb in
+      let j = Clock.join a b in
+      (* get agrees with the model everywhere, including never-set tids *)
+      for_alli (fun i s -> Clock.get a i = s) ma
+      && for_alli (fun i s -> Clock.get j i = s) mj
+      (* leq / equal / covers agree with the pointwise model *)
+      && Clock.leq a b = model_leq ma mb
+      && Clock.leq b a = model_leq mb ma
+      && Clock.equal a b = (ma = mb)
+      && List.for_all (fun (tid, seq) -> Clock.covers j ~tid ~seq = (mj.(tid) >= seq)) la
+      (* representation is canonical: packed iff packable, on both the
+         built clocks and the join (which may cross the boundary) *)
+      && Clock.is_packed a = packable ma
+      && Clock.is_packed b = packable mb
+      && Clock.is_packed j = packable mj)
+
 let test_clock_basics () =
   let c = Clock.singleton ~tid:2 ~seq:5 in
   Alcotest.(check bool) "covers own" true (Clock.covers c ~tid:2 ~seq:5);
@@ -308,6 +363,7 @@ let () =
           qt prop_join_idempotent;
           qt prop_join_associative;
           qt prop_set_covers;
+          qt prop_packed_differential;
         ] );
       ( "relation",
         [

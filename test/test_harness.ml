@@ -115,7 +115,7 @@ let test_known_bugs_found () =
 let test_fuzz_campaign_rows () =
   let limits = { X.default_fuzz_limits with fuzz_executions = Some 120 } in
   let rows = X.fuzz_campaign ~limits ~seed:13 (X.fuzz_workloads ()) in
-  Alcotest.(check int) "one row per oversized workload" 4 (List.length rows);
+  Alcotest.(check int) "one row per oversized workload" 5 (List.length rows);
   List.iter
     (fun (r : X.fuzz_row) ->
       Alcotest.(check int) (r.workload ^ ": ran the budget") 120 r.fuzz_execs;
